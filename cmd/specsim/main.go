@@ -1,0 +1,133 @@
+// Command specsim runs one simulated system and reports its results.
+//
+// Usage:
+//
+//	specsim -kind directory-spec -workload oltp -cycles 2000000
+//	specsim -kind snoop-spec -workload apache -runs 5
+//	specsim -kind directory-spec -net simplified -buffers 2 -bw 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"specsimp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("specsim: ")
+
+	var (
+		kindName = flag.String("kind", "directory-spec", "system kind: directory-full, directory-spec, snoop-full, snoop-spec")
+		wlName   = flag.String("workload", "oltp", "workload: oltp, jbb, apache, slashcode, barnes, uniform, hotspot")
+		cycles   = flag.Uint64("cycles", 2_000_000, "simulated cycles to run")
+		runs     = flag.Int("runs", 1, "perturbed runs (paper §5.2 methodology)")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		netKind  = flag.String("net", "", "network override: static, adaptive, simplified")
+		bw       = flag.Float64("bw", 0.8, "link bandwidth in bytes/cycle (0.1 = 400 MB/s at 4 GHz)")
+		buffers  = flag.Int("buffers", 8, "buffer size for -net simplified")
+		inject   = flag.Uint64("inject", 0, "inject a recovery every N cycles (0 = off)")
+		interval = flag.Uint64("interval", 0, "checkpoint interval override in cycles")
+	)
+	flag.Parse()
+
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, ok := specsimp.WorkloadByName(*wlName)
+	if !ok {
+		log.Fatalf("unknown workload %q", *wlName)
+	}
+	cfg := specsimp.DefaultConfig(kind, wl)
+	cfg.Seed = *seed
+	switch *netKind {
+	case "":
+	case "static":
+		cfg.Net = specsimp.SafeStaticConfig(4, 4, *bw)
+	case "adaptive":
+		cfg.Net = specsimp.AdaptiveNetConfig(4, 4, *bw)
+	case "simplified":
+		cfg.Net = specsimp.SimplifiedNetConfig(4, 4, *bw, *buffers)
+		if cfg.TimeoutCycles == 0 {
+			cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
+		}
+	default:
+		log.Fatalf("unknown network %q", *netKind)
+	}
+	if *interval > 0 {
+		cfg.CheckpointInterval = specsimp.Time(*interval)
+		if cfg.TimeoutCycles > 0 {
+			cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
+		}
+	}
+	cfg.InjectRecoveryEvery = specsimp.Time(*inject)
+
+	if *runs <= 1 {
+		report(specsimp.RunOne(cfg, specsimp.Time(*cycles)))
+		return
+	}
+	pr := specsimp.RunPerturbed(cfg, *runs, specsimp.Time(*cycles))
+	fmt.Printf("%d perturbed runs of %s / %s:\n", *runs, kind, wl.Name)
+	fmt.Printf("  performance: %s\n", pr.Perf.String())
+	fmt.Printf("  recoveries:  %s\n", pr.Recoveries.String())
+	for i, r := range pr.Runs {
+		fmt.Printf("  run %d: perf=%.4f recoveries=%d reorder=%.5f\n",
+			i, r.Perf, r.Recoveries, r.TotalReorderRate)
+	}
+}
+
+func parseKind(s string) (specsimp.Kind, error) {
+	for _, k := range []specsimp.Kind{
+		specsimp.DirectoryFull, specsimp.DirectorySpec,
+		specsimp.SnoopFull, specsimp.SnoopSpec,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+func report(r specsimp.Results) {
+	fmt.Printf("system:        %s\n", r.Kind)
+	fmt.Printf("workload:      %s\n", r.Workload)
+	fmt.Printf("cycles:        %d\n", r.Cycles)
+	fmt.Printf("instructions:  %d\n", r.Instructions)
+	fmt.Printf("performance:   %.4f IPC aggregate\n", r.Perf)
+	fmt.Printf("transactions:  %d (%d writebacks, %d racing forwards)\n", r.Transactions, r.Writebacks, r.WBRaces)
+	fmt.Printf("miss latency:  %.0f cycles mean\n", r.MissLatencyMean)
+	fmt.Printf("checkpoints:   %d (stall %d cycles, log high water %d bytes)\n",
+		r.Checkpoints, r.CheckpointStall, r.LogHighWaterBytes)
+	fmt.Printf("link util:     %.1f%%\n", 100*r.MeanLinkUtil)
+	fmt.Printf("reorder rate:  %.5f total", r.TotalReorderRate)
+	for v, rr := range r.ReorderRatePerVNet {
+		fmt.Printf("  vnet%d=%.5f", v, rr)
+	}
+	fmt.Println()
+	fmt.Printf("recoveries:    %d", r.Recoveries)
+	if len(r.RecoveryReasons) > 0 {
+		reasons := make([]string, 0, len(r.RecoveryReasons))
+		for k := range r.RecoveryReasons {
+			reasons = append(reasons, k)
+		}
+		sort.Strings(reasons)
+		fmt.Print("  (")
+		for i, k := range reasons {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s: %d", k, r.RecoveryReasons[k])
+		}
+		fmt.Print(")")
+	}
+	fmt.Println()
+	if r.Recoveries > 0 {
+		fmt.Printf("lost work:     %.0f cycles mean per recovery\n", r.MeanLostWork)
+	}
+	os.Exit(0)
+}

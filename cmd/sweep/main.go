@@ -1,0 +1,124 @@
+// Command sweep regenerates the paper's evaluation (§5): each -exp
+// selects one figure or result and prints the corresponding table.
+//
+// Usage:
+//
+//	sweep -exp fig4               # Figure 4: perf vs mis-speculation rate
+//	sweep -exp fig5               # Figure 5: static vs adaptive routing
+//	sweep -exp reorder            # §5.3 reorder rates vs link bandwidth
+//	sweep -exp snoop              # §5.3 snooping recoveries
+//	sweep -exp buffers            # §5.3 interconnect buffer sweep
+//	sweep -exp slowstart          # ablation A2
+//	sweep -exp deflection         # ablation A4
+//	sweep -exp reenable           # ablation A5
+//	sweep -exp checkpoint         # ablation A3
+//	sweep -exp all
+//	sweep -exp fig5 -quick        # bench-sized parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"specsimp"
+	"specsimp/internal/experiments"
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, slowstart, checkpoint, all")
+		quick  = flag.Bool("quick", false, "bench-sized parameters (faster, noisier)")
+		wlName = flag.String("workload", "oltp", "workload for reorder/buffers/ablations")
+	)
+	flag.Parse()
+
+	p := specsimp.StandardParams()
+	if *quick {
+		p = specsimp.QuickParams()
+	}
+	wl, ok := specsimp.WorkloadByName(*wlName)
+	if !ok {
+		log.Fatalf("unknown workload %q", *wlName)
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		fn()
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	all := *exp == "all"
+	if all || *exp == "fig4" {
+		run("Figure 4: normalized performance vs mis-speculation rate", func() {
+			fmt.Printf("compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n\n", p.CyclesPerSecond)
+			fmt.Println(specsimp.Fig4Table(specsimp.Fig4(p)))
+		})
+	}
+	if all || *exp == "fig5" {
+		run("Figure 5: static vs adaptive routing (400 MB/s links)", func() {
+			fmt.Println(specsimp.Fig5Table(specsimp.Fig5(p)))
+		})
+	}
+	if all || *exp == "reorder" {
+		run("§5.3: message reorder rates vs link bandwidth ("+wl.Name+")", func() {
+			fmt.Println(specsimp.ReorderTable(specsimp.ReorderRates(p, wl)))
+		})
+	}
+	if all || *exp == "snoop" {
+		run("§5.3: speculatively simplified snooping protocol", func() {
+			fmt.Println(specsimp.SnoopTable(specsimp.SnoopRecoveries(p)))
+		})
+	}
+	if all || *exp == "buffers" {
+		run("§5.3: simplified interconnect buffer sweep ("+wl.Name+")", func() {
+			fmt.Println(specsimp.BufferTable(specsimp.BufferSweep(p, wl)))
+		})
+	}
+	if all || *exp == "slowstart" {
+		run("Ablation A2: slow-start outstanding limit ("+wl.Name+", 2-entry buffers)", func() {
+			res := experiments.SlowStartAblation(p, wl, []int{1, 2, 4, 8})
+			for _, r := range res {
+				fmt.Printf("  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
+			}
+		})
+	}
+	if all || *exp == "deflection" {
+		run("Ablation A4: deadlock-recovery vs deflection routing ("+wl.Name+")", func() {
+			res := experiments.DeflectionAblation(p, wl)
+			for _, r := range res {
+				fmt.Printf("  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
+					r.Name, r.Perf, r.Recoveries, r.Deflections)
+			}
+		})
+	}
+	if all || *exp == "reenable" {
+		run("Ablation A5: adaptive-routing re-enable window ("+wl.Name+", amplified reordering)", func() {
+			res := experiments.ReenableAblation(p, wl,
+				[]sim.Time{0, 2 * p.CheckpointInterval, 10 * p.CheckpointInterval, 50 * p.CheckpointInterval})
+			for _, r := range res {
+				name := fmt.Sprintf("%d cycles", r.Window)
+				if r.Window == 0 {
+					name = "never (conservative)"
+				}
+				fmt.Printf("  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
+			}
+		})
+	}
+	if all || *exp == "checkpoint" {
+		run("Ablation A3: checkpoint interval vs log occupancy", func() {
+			res := experiments.CheckpointAblation(p, workload.Uniform,
+				[]sim.Time{2_000, 5_000, 20_000, 50_000})
+			for _, r := range res {
+				fmt.Printf("  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
+					r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
+			}
+		})
+	}
+}

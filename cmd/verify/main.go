@@ -1,0 +1,135 @@
+// Command verify exhaustively explores message-delivery interleavings
+// of the directory protocol for small scenarios and checks every
+// outcome — the verification-effort experiment behind the paper's whole
+// premise (§1: "engineers must allocate a disproportionate share of
+// their effort to ensure that rare corner-case events behave
+// correctly").
+//
+// For the speculative protocol it certifies framework feature (2)
+// within the explored bounds: every interleaving either completes with
+// intact invariants or stops at the single designated detection.
+//
+// Usage:
+//
+//	verify                     # run all scenarios on both variants
+//	verify -scenario race      # just the §3.1 writeback race
+//	verify -maxpaths 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"specsimp/internal/coherence"
+	"specsimp/internal/directory"
+)
+
+type scenario struct {
+	name   string
+	script [][]directory.ScriptOp
+}
+
+var (
+	blkA = coherence.Addr(0)
+	blkB = coherence.Addr(4 * 64)
+	blkC = coherence.Addr(8 * 64)
+)
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			// The §3.1 writeback/forward race.
+			name: "race",
+			script: [][]directory.ScriptOp{
+				1: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}, {Addr: blkC, Kind: coherence.Store}},
+				2: {{Addr: blkA, Kind: coherence.Store}},
+				3: {},
+			},
+		},
+		{
+			// Readers invalidated by competing writers.
+			name: "share-invalidate",
+			script: [][]directory.ScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
+				1: {{Addr: blkA, Kind: coherence.Load}},
+				2: {{Addr: blkA, Kind: coherence.Store}},
+				3: {},
+			},
+		},
+		{
+			// Competing upgrades from S.
+			name: "upgrade-race",
+			script: [][]directory.ScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
+				1: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
+				2: {},
+				3: {},
+			},
+		},
+		{
+			// Writeback racing a read.
+			name: "race-gets",
+			script: [][]directory.ScriptOp{
+				1: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}, {Addr: blkC, Kind: coherence.Store}},
+				2: {{Addr: blkA, Kind: coherence.Load}},
+				3: {},
+			},
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verify: ")
+	var (
+		which    = flag.String("scenario", "all", "scenario: race, share-invalidate, upgrade-race, race-gets, all")
+		maxPaths = flag.Int("maxpaths", 200_000, "interleaving budget per (scenario, variant)")
+	)
+	flag.Parse()
+
+	failed := false
+	for _, sc := range scenarios() {
+		if *which != "all" && *which != sc.name {
+			continue
+		}
+		for _, v := range []directory.Variant{directory.Full, directory.Spec} {
+			start := time.Now()
+			res := directory.Explore(directory.ExploreConfig{
+				Variant:  v,
+				Nodes:    4,
+				Script:   sc.script,
+				MaxPaths: *maxPaths,
+			})
+			status := "OK"
+			if !res.Ok() {
+				status = "FAIL"
+				failed = true
+			}
+			trunc := ""
+			if res.Truncated {
+				trunc = " (budget exhausted)"
+			}
+			fmt.Printf("%-18s %-5s %-4s %8d interleavings: %d completed, %d detected%s  [%.1fs]\n",
+				sc.name, v, status, res.Paths, res.Completed, res.Detected, trunc, time.Since(start).Seconds())
+			for i, viol := range res.Violations {
+				if i == 3 {
+					fmt.Printf("    ... %d more\n", len(res.Violations)-3)
+					break
+				}
+				fmt.Printf("    %s\n", viol)
+			}
+			if v == directory.Spec && res.Detected == 0 && (sc.name == "race" || sc.name == "race-gets") {
+				fmt.Println("    warning: race scenario never triggered detection")
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("\nEvery explored interleaving behaved correctly: the full protocol")
+	fmt.Println("never mis-speculates; the speculative protocol either completes or")
+	fmt.Println("detects at its single designated invalid transition (feature 2).")
+}

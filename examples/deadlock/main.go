@@ -1,0 +1,65 @@
+// Command deadlock demonstrates the paper's §4 interconnect
+// simplification. Part 1 reproduces Figures 2 and 3 at network level: a
+// simplified torus (no virtual networks or channels, one tiny shared
+// buffer pool per switch) is driven into a standstill. Part 2 runs the
+// full system on that network: the coherence transaction timeout
+// detects the deadlock, SafetyNet recovers, and slow-start guarantees
+// forward progress.
+package main
+
+import (
+	"fmt"
+
+	"specsimp"
+)
+
+func part1() {
+	fmt.Println("Part 1 — deadlock without virtual channels (Figures 2 & 3)")
+	k := specsimp.NewKernel()
+	net := specsimp.NewNetwork(k, specsimp.SimplifiedNetConfig(4, 4, 1.0, 1))
+	for i := 0; i < 16; i++ {
+		net.AttachClient(specsimp.NetNodeID(i), specsimp.NetClientFunc(func(m *specsimp.NetMessage) bool {
+			return true
+		}))
+	}
+	// A dense synchronized all-to-all burst: with one buffer slot per
+	// switch, cyclic buffer waits form.
+	n := 0
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			net.Send(&specsimp.NetMessage{Src: specsimp.NetNodeID(s), Dst: specsimp.NetNodeID(d), VNet: 0, Size: 72})
+			n++
+		}
+	}
+	k.Drain(10_000_000)
+	stuck := net.InFlight()
+	fmt.Printf("  injected %d messages; network quiesced with %d stuck\n", n, stuck)
+	if stuck > 0 {
+		fmt.Println("  => DEADLOCK: no event can fire, messages hold each other's buffers")
+	}
+	fmt.Println()
+}
+
+func part2() {
+	fmt.Println("Part 2 — the system recovers from interconnect deadlock (§4)")
+	cfg := specsimp.DefaultConfig(specsimp.DirectorySpec, specsimp.Hotspot)
+	cfg.Net = specsimp.SimplifiedNetConfig(4, 4, 0.2, 2) // deadlock-prone
+	cfg.CheckpointInterval = 20_000
+	cfg.TimeoutCycles = 3 * cfg.CheckpointInterval // paper: 3 intervals
+	cfg.SlowStartWindow = 60_000
+	r := specsimp.RunOne(cfg, 3_000_000)
+	fmt.Printf("  instructions retired: %d (perf %.4f)\n", r.Instructions, r.Perf)
+	fmt.Printf("  deadlock timeouts detected: %d\n", r.Timeouts)
+	fmt.Printf("  recoveries performed:       %d  %v\n", r.Recoveries, r.RecoveryReasons)
+	fmt.Println("  => the run completed: detection by timeout, recovery by")
+	fmt.Println("     SafetyNet, forward progress by slow-start — no virtual")
+	fmt.Println("     channels anywhere.")
+}
+
+func main() {
+	part1()
+	part2()
+}

@@ -1,0 +1,58 @@
+// Command faultinject tells the paper's §3.1 story end to end. Natural
+// message reorderings are rare — that is the whole premise — so this
+// demo amplifies them: ForwardedRequest-class messages are randomly held
+// at their source, letting Writeback-Acks overtake the forwards they
+// must trail. The speculative directory protocol detects each violation
+// as its single invalid transition, SafetyNet rolls the machine back,
+// and the forward-progress policy (disable adaptive routing) lets
+// re-execution proceed. The full protocol shrugs the same storm off
+// with its extra states — at the design-complexity price Table 1 argues
+// against.
+package main
+
+import (
+	"fmt"
+
+	"specsimp"
+)
+
+func run(kind specsimp.Kind) specsimp.Results {
+	cfg := specsimp.DefaultConfig(kind, specsimp.Hotspot)
+	cfg.CheckpointInterval = 5_000
+	cfg.ReorderInjectProb = 0.25
+	cfg.ReorderInjectDelay = 3_000
+	cfg.AdaptiveDisableWindow = 25_000
+	cfg.SlowStartWindow = 25_000
+	// Tiny caches keep writebacks (and thus the race window) frequent.
+	cfg.L2Bytes, cfg.L2Ways = 16*64, 2
+	cfg.L1Bytes, cfg.L1Ways = 2*64, 1
+	return specsimp.RunOne(cfg, 2_000_000)
+}
+
+func main() {
+	fmt.Println("§3.1 end to end, with reordering amplified 10,000x over nature:")
+	fmt.Println()
+
+	spec := run(specsimp.DirectorySpec)
+	fmt.Println("speculatively simplified directory protocol:")
+	fmt.Printf("  writeback/forward races hit:  %d\n", spec.WBRaces)
+	fmt.Printf("  ordering violations detected: %d\n", spec.OrderViolations)
+	fmt.Printf("  recoveries performed:         %d  %v\n", spec.Recoveries, spec.RecoveryReasons)
+	fmt.Printf("  mean lost work per recovery:  %.0f cycles\n", spec.MeanLostWork)
+	fmt.Printf("  instructions retired:         %d (perf %.4f)\n", spec.Instructions, spec.Perf)
+	fmt.Println()
+
+	full := run(specsimp.DirectoryFull)
+	fmt.Println("full directory protocol (same storm):")
+	fmt.Printf("  writeback/forward races hit:  %d (handled by II_F & friends)\n", full.WBRaces)
+	fmt.Printf("  recoveries performed:         %d\n", full.Recoveries)
+	fmt.Printf("  instructions retired:         %d (perf %.4f)\n", full.Instructions, full.Perf)
+	fmt.Println()
+	fmt.Printf("Complexity price of the full protocol: +%d cache states, +%d transitions, +%d message kinds.\n",
+		specsimp.DirectoryComplexity(specsimp.DirFull).CacheStates-specsimp.DirectoryComplexity(specsimp.DirSpec).CacheStates,
+		specsimp.DirectoryComplexity(specsimp.DirFull).CacheTransitions-specsimp.DirectoryComplexity(specsimp.DirSpec).CacheTransitions,
+		specsimp.DirectoryComplexity(specsimp.DirFull).MessageKinds-specsimp.DirectoryComplexity(specsimp.DirSpec).MessageKinds)
+	fmt.Println("At natural reorder rates (see EXPERIMENTS.md R1) the speculative")
+	fmt.Println("protocol recovers essentially never — speculation buys the")
+	fmt.Println("simplicity for free.")
+}

@@ -1,0 +1,37 @@
+// Command quickstart builds the paper's Table 2 target system — 16
+// nodes, MOSI directory coherence speculatively relying on
+// point-to-point ordering (§3.1), adaptive 2D-torus interconnect,
+// SafetyNet checkpoint/recovery — runs the OLTP workload on it, and
+// prints the framework characterization and the run's results.
+package main
+
+import (
+	"fmt"
+
+	"specsimp"
+)
+
+func main() {
+	fmt.Println("speculation-for-simplicity framework (paper Table 1):")
+	fmt.Println(specsimp.Table1())
+
+	cfg := specsimp.DefaultConfig(specsimp.DirectorySpec, specsimp.OLTP)
+	fmt.Println("target system (paper Table 2):")
+	fmt.Println(specsimp.Table2(cfg))
+
+	const cycles = 1_000_000
+	fmt.Printf("running %s on %s for %d cycles...\n\n", cfg.Kind, cfg.Workload.Name, cycles)
+	r := specsimp.RunOne(cfg, cycles)
+
+	fmt.Printf("instructions retired:  %d\n", r.Instructions)
+	fmt.Printf("performance (IPC):     %.3f aggregate\n", r.Perf)
+	fmt.Printf("coherence transactions: %d (%d writebacks, %d racing)\n",
+		r.Transactions, r.Writebacks, r.WBRaces)
+	fmt.Printf("checkpoints taken:     %d\n", r.Checkpoints)
+	fmt.Printf("message reorder rate:  %.5f\n", r.TotalReorderRate)
+	fmt.Printf("mis-speculations:      %d  %v\n", r.Recoveries, r.RecoveryReasons)
+	fmt.Printf("mean link utilization: %.1f%%\n", 100*r.MeanLinkUtil)
+	fmt.Println("\nThe speculative protocol ran on a network that does not")
+	fmt.Println("guarantee the ordering it relies on — and recovered from any")
+	fmt.Println("violation it detected, exactly as the paper proposes.")
+}

@@ -1,0 +1,152 @@
+// Package cache models set-associative cache arrays with LRU
+// replacement. A Line stores the protocol-visible coherence state (an
+// opaque uint8 interpreted by the protocol packages) and the block's
+// data version (the simulator's stand-in for data values: every store
+// increments the version, so coherence bugs become visible as version
+// mismatches).
+package cache
+
+import (
+	"fmt"
+
+	"specsimp/internal/coherence"
+)
+
+// Line is one cache block frame.
+type Line struct {
+	Addr    coherence.Addr
+	Valid   bool
+	State   uint8
+	Version uint64
+	lastUse uint64
+}
+
+// Cache is a set-associative array. The zero value is not usable; use New.
+type Cache struct {
+	sets     [][]Line
+	numSets  int
+	ways     int
+	useClock uint64
+}
+
+// New builds a cache of sizeBytes capacity with the given associativity
+// and 64-byte blocks. sizeBytes must yield a power-of-two set count.
+func New(sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic("cache: size and ways must be positive")
+	}
+	numSets := sizeBytes / (ways * coherence.BlockBytes)
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d bytes / %d ways yields non-power-of-two set count %d", sizeBytes, ways, numSets))
+	}
+	c := &Cache{numSets: numSets, ways: ways}
+	c.sets = make([][]Line, numSets)
+	backing := make([]Line, numSets*ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	return c
+}
+
+// NumSets returns the set count.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(a coherence.Addr) []Line {
+	idx := (uint64(a) / coherence.BlockBytes) & uint64(c.numSets-1)
+	return c.sets[idx]
+}
+
+// Lookup returns the line holding block a, updating LRU, or nil.
+func (c *Cache) Lookup(a coherence.Addr) *Line {
+	a = coherence.BlockAddr(a)
+	set := c.set(a)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			c.useClock++
+			set[i].lastUse = c.useClock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the line holding block a without updating LRU, or nil.
+func (c *Cache) Peek(a coherence.Addr) *Line {
+	a = coherence.BlockAddr(a)
+	set := c.set(a)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim selects the frame an insertion of block a would use: an invalid
+// way if one exists, else the least-recently-used way whose line
+// canEvict approves. It returns nil if every way is pinned (the caller
+// must stall). canEvict==nil approves everything.
+func (c *Cache) Victim(a coherence.Addr, canEvict func(*Line) bool) *Line {
+	set := c.set(coherence.BlockAddr(a))
+	for i := range set {
+		if !set[i].Valid {
+			return &set[i]
+		}
+	}
+	var victim *Line
+	for i := range set {
+		if canEvict != nil && !canEvict(&set[i]) {
+			continue
+		}
+		if victim == nil || set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Install fills frame (obtained from Victim) with block a in the given
+// state. The caller must have dealt with the victim's contents first.
+func (c *Cache) Install(frame *Line, a coherence.Addr, state uint8, version uint64) {
+	c.useClock++
+	*frame = Line{Addr: coherence.BlockAddr(a), Valid: true, State: state, Version: version, lastUse: c.useClock}
+}
+
+// Invalidate removes block a if present.
+func (c *Cache) Invalidate(a coherence.Addr) {
+	if l := c.Peek(a); l != nil {
+		l.Valid = false
+	}
+}
+
+// ForEach visits every valid line. The callback must not insert or
+// remove lines.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (c *Cache) CountValid() int {
+	n := 0
+	c.ForEach(func(*Line) { n++ })
+	return n
+}
+
+// Clear invalidates every line (used when a recovery rebuilds cache
+// contents from the checkpoint log).
+func (c *Cache) Clear() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].Valid = false
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specsimp/internal/coherence"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New(128*1024, 4) // paper L1: 128 KB 4-way
+	if c.NumSets() != 512 || c.Ways() != 4 {
+		t.Fatalf("geometry %d sets x %d ways, want 512x4", c.NumSets(), c.Ways())
+	}
+	c2 := New(4*1024*1024, 4) // paper L2: 4 MB 4-way
+	if c2.NumSets() != 16384 {
+		t.Fatalf("L2 sets=%d want 16384", c2.NumSets())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two sets")
+		}
+	}()
+	New(3*64, 1)
+}
+
+func TestInstallLookupPeek(t *testing.T) {
+	c := New(1024, 2)
+	a := coherence.Addr(0x1000)
+	f := c.Victim(a, nil)
+	c.Install(f, a, 3, 7)
+	l := c.Lookup(a)
+	if l == nil || l.State != 3 || l.Version != 7 {
+		t.Fatalf("lookup after install: %+v", l)
+	}
+	if c.Peek(a) == nil {
+		t.Fatal("peek missed installed line")
+	}
+	if c.Peek(0x9999000) != nil {
+		t.Fatal("peek hit absent line")
+	}
+}
+
+func TestBlockAliasing(t *testing.T) {
+	c := New(1024, 2)
+	f := c.Victim(0x1000, nil)
+	c.Install(f, 0x1000, 1, 1)
+	if c.Lookup(0x1004) == nil {
+		t.Fatal("offset within same block missed")
+	}
+	if c.Lookup(0x1040) != nil {
+		t.Fatal("adjacent block falsely hit")
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	c := New(2*64, 2) // 1 set, 2 ways
+	c.Install(c.Victim(0x000, nil), 0x000, 1, 0)
+	c.Install(c.Victim(0x040, nil), 0x040, 1, 0)
+	c.Lookup(0x000) // touch: 0x040 is now LRU
+	v := c.Victim(0x080, nil)
+	if v.Addr != 0x040 {
+		t.Fatalf("victim=%#x want 0x40 (LRU)", uint64(v.Addr))
+	}
+}
+
+func TestVictimHonorsPin(t *testing.T) {
+	c := New(2*64, 2)
+	c.Install(c.Victim(0x000, nil), 0x000, 9, 0)
+	c.Install(c.Victim(0x040, nil), 0x040, 9, 0)
+	pinned := func(l *Line) bool { return l.State != 9 }
+	if v := c.Victim(0x080, pinned); v != nil {
+		t.Fatalf("victim %+v returned despite all ways pinned", v)
+	}
+	c.Peek(0x040).State = 2
+	v := c.Victim(0x080, pinned)
+	if v == nil || v.Addr != 0x040 {
+		t.Fatalf("victim=%v want the unpinned 0x40", v)
+	}
+}
+
+func TestInvalidateAndClear(t *testing.T) {
+	c := New(1024, 2)
+	c.Install(c.Victim(0x100, nil), 0x100, 1, 0)
+	c.Install(c.Victim(0x200, nil), 0x200, 1, 0)
+	c.Invalidate(0x100)
+	if c.Peek(0x100) != nil {
+		t.Fatal("line survived invalidate")
+	}
+	if c.CountValid() != 1 {
+		t.Fatalf("CountValid=%d want 1", c.CountValid())
+	}
+	c.Clear()
+	if c.CountValid() != 0 {
+		t.Fatal("lines survived Clear")
+	}
+}
+
+func TestForEachVisitsAllValid(t *testing.T) {
+	c := New(4096, 4)
+	want := map[coherence.Addr]bool{}
+	for i := 0; i < 20; i++ {
+		a := coherence.Addr(i * 64)
+		c.Install(c.Victim(a, nil), a, 1, 0)
+		want[a] = true
+	}
+	got := map[coherence.Addr]bool{}
+	c.ForEach(func(l *Line) { got[l.Addr] = true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d lines, want %d", len(got), len(want))
+	}
+}
+
+// Property: a cache never holds two valid lines for the same block, and
+// capacity is never exceeded, under arbitrary install/invalidate traffic.
+func TestCacheUniquenessProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(16*64, 2) // tiny: 8 sets x 2 ways
+		for _, op := range ops {
+			a := coherence.Addr(op&0x3ff) * 64
+			if op&0x8000 != 0 {
+				c.Invalidate(a)
+				continue
+			}
+			if c.Peek(a) != nil {
+				continue
+			}
+			if v := c.Victim(a, nil); v != nil {
+				c.Install(v, a, 1, 0)
+			}
+		}
+		seen := map[coherence.Addr]int{}
+		c.ForEach(func(l *Line) { seen[l.Addr]++ })
+		for _, n := range seen {
+			if n > 1 {
+				return false
+			}
+		}
+		return c.CountValid() <= 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package coherence holds the vocabulary shared by the directory and
+// snooping protocol implementations: block addresses, node identifiers,
+// coherence message kinds, virtual network assignments, and access types.
+package coherence
+
+import "fmt"
+
+// NodeID identifies a processor/cache/directory node (0..N-1).
+type NodeID int
+
+// Addr is a block-aligned physical address.
+type Addr uint64
+
+// BlockBytes is the coherence unit (paper Table 2: 64-byte blocks).
+const BlockBytes = 64
+
+// BlockAddr masks a byte address down to its block address.
+func BlockAddr(a Addr) Addr { return a &^ (BlockBytes - 1) }
+
+// AccessType distinguishes loads from stores.
+type AccessType uint8
+
+// Access types.
+const (
+	Load AccessType = iota
+	Store
+)
+
+func (a AccessType) String() string {
+	if a == Load {
+		return "Load"
+	}
+	return "Store"
+}
+
+// MsgKind enumerates every coherence message exchanged by either
+// protocol. The directory protocol (paper §3.1) uses the Request,
+// ForwardedRequest, Response and FinalAck classes; the snooping protocol
+// (paper §3.2) uses the Snoop* kinds on its ordered address network plus
+// Data on its unordered data network.
+type MsgKind uint8
+
+// Directory protocol messages.
+const (
+	// Requests: processor -> directory (paper: RequestReadOnly,
+	// RequestReadWrite, Writeback).
+	GetS MsgKind = iota // RequestReadOnly
+	GetM                // RequestReadWrite
+	PutM                // Writeback (carries data)
+
+	// ForwardedRequests: directory -> processor (paper:
+	// Forwarded-RequestReadOnly, Forwarded-RequestReadWrite,
+	// Invalidation, Writeback-Ack).
+	FwdGetS
+	FwdGetM
+	Inv
+	WBAck
+
+	// Responses: processor or directory -> requesting processor.
+	Data
+	Ack // invalidation acknowledgement
+	Nack
+
+	// FinalAck: processor -> directory, completes a transaction and, in
+	// the paper, coordinates SafetyNet checkpoints.
+	FinalAck
+
+	// Snooping protocol messages (address network carries ordered
+	// requests; data network carries Data above).
+	SnoopGetS
+	SnoopGetM
+	SnoopPutM
+)
+
+var msgKindNames = [...]string{
+	"GetS", "GetM", "PutM",
+	"FwdGetS", "FwdGetM", "Inv", "WBAck",
+	"Data", "Ack", "Nack",
+	"FinalAck",
+	"SnoopGetS", "SnoopGetM", "SnoopPutM",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindNames) {
+		return msgKindNames[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// Virtual network assignment (paper §3.1: four classes of messages, each
+// on a logically separate virtual network).
+const (
+	VNetRequest  = 0
+	VNetForward  = 1
+	VNetResponse = 2
+	VNetFinalAck = 3
+	NumVNets     = 4
+)
+
+// VNetOf returns the virtual network a directory-protocol message kind
+// travels on.
+func VNetOf(k MsgKind) int {
+	switch k {
+	case GetS, GetM, PutM:
+		return VNetRequest
+	case FwdGetS, FwdGetM, Inv, WBAck:
+		return VNetForward
+	case Data, Ack, Nack:
+		return VNetResponse
+	case FinalAck:
+		return VNetFinalAck
+	}
+	return VNetRequest
+}
+
+// Control and data message sizes in bytes. A data message carries the
+// 64-byte block plus an 8-byte header.
+const (
+	CtrlMsgBytes = 8
+	DataMsgBytes = BlockBytes + 8
+)
+
+// SizeOf returns the size in bytes of a message of kind k.
+func SizeOf(k MsgKind) int {
+	switch k {
+	case Data, PutM, SnoopPutM:
+		return DataMsgBytes
+	default:
+		return CtrlMsgBytes
+	}
+}
+
+// Msg is a coherence protocol message (the payload a network message
+// carries). Version is the data version for Data/PutM messages; AckCount
+// tells a GetM requestor how many invalidation Acks to expect; Stale
+// marks a WBAck sent while a forwarded request to the same node is still
+// outstanding (used only by the Full directory variant's race handling).
+type Msg struct {
+	Kind      MsgKind
+	Addr      Addr
+	From      NodeID
+	Requestor NodeID // original requestor for forwarded/respond paths
+	Version   uint64
+	AckCount  int
+	Stale     bool
+	TID       uint64 // transaction id, for duplicate-data tolerance
+}
+
+func (m Msg) String() string {
+	return fmt.Sprintf("%s addr=%#x from=%d req=%d v=%d acks=%d stale=%v tid=%d",
+		m.Kind, uint64(m.Addr), m.From, m.Requestor, m.Version, m.AckCount, m.Stale, m.TID)
+}

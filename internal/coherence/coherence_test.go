@@ -1,0 +1,48 @@
+package coherence
+
+import "testing"
+
+func TestBlockAddr(t *testing.T) {
+	if BlockAddr(0x1234) != 0x1200 {
+		t.Fatalf("BlockAddr(0x1234)=%#x", uint64(BlockAddr(0x1234)))
+	}
+	if BlockAddr(0x1200) != 0x1200 {
+		t.Fatal("aligned address changed")
+	}
+}
+
+func TestVNetAssignment(t *testing.T) {
+	cases := map[MsgKind]int{
+		GetS: VNetRequest, GetM: VNetRequest, PutM: VNetRequest,
+		FwdGetS: VNetForward, FwdGetM: VNetForward, Inv: VNetForward, WBAck: VNetForward,
+		Data: VNetResponse, Ack: VNetResponse, Nack: VNetResponse,
+		FinalAck: VNetFinalAck,
+	}
+	for k, want := range cases {
+		if got := VNetOf(k); got != want {
+			t.Errorf("VNetOf(%s)=%d want %d", k, got, want)
+		}
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	if SizeOf(Data) != DataMsgBytes || SizeOf(PutM) != DataMsgBytes || SizeOf(SnoopPutM) != DataMsgBytes {
+		t.Fatal("data-carrying messages must be data-sized")
+	}
+	if SizeOf(GetS) != CtrlMsgBytes || SizeOf(WBAck) != CtrlMsgBytes {
+		t.Fatal("control messages must be control-sized")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if GetS.String() != "GetS" || FwdGetM.String() != "FwdGetM" || SnoopPutM.String() != "SnoopPutM" {
+		t.Fatal("message kind names wrong")
+	}
+	if Load.String() != "Load" || Store.String() != "Store" {
+		t.Fatal("access type names wrong")
+	}
+	m := Msg{Kind: Data, Addr: 0x40, From: 1, Requestor: 2, Version: 3}
+	if s := m.String(); len(s) == 0 {
+		t.Fatal("empty message string")
+	}
+}

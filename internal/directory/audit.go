@@ -1,0 +1,114 @@
+package directory
+
+import (
+	"fmt"
+
+	"specsimp/internal/cache"
+	"specsimp/internal/coherence"
+)
+
+// AuditInvariants checks the protocol's global correctness invariants.
+// It must be called at a quiescent point (InFlight()==0):
+//
+//   - Single writer: at most one cache holds a block in M or O.
+//   - Value coherence: every valid cached copy of a block has the same
+//     data version.
+//   - Memory currency: with no owner, memory's version equals the cached
+//     version (and is never newer than any copy).
+//   - Directory accuracy: DM/DO imply the recorded owner really holds
+//     the block in M/O; DS/DInv imply no dirty copy exists anywhere;
+//     the recorded sharer set is a superset of the actual S holders
+//     (silent evictions leave stale sharers, never missing ones).
+//
+// It returns nil if all invariants hold.
+func (p *Protocol) AuditInvariants() error {
+	if n := p.InFlight(); n != 0 {
+		return fmt.Errorf("audit requires quiescence; %d transactions in flight", n)
+	}
+	type copyInfo struct {
+		node    int
+		state   CState
+		version uint64
+	}
+	copies := make(map[coherence.Addr][]copyInfo)
+	for i, c := range p.caches {
+		i := i
+		c.l2.ForEach(func(l *cache.Line) {
+			copies[l.Addr] = append(copies[l.Addr], copyInfo{i, CState(l.State), l.Version})
+		})
+	}
+	// Every block the directory knows about is audited, plus every
+	// cached block (which must be known to its home).
+	addrs := make(map[coherence.Addr]bool)
+	for _, d := range p.dirs {
+		for a := range d.entries {
+			addrs[a] = true
+		}
+	}
+	for a := range copies {
+		addrs[a] = true
+	}
+
+	for a := range addrs {
+		home := p.dirs[p.Home(a)]
+		e := home.entries[a]
+		cs := copies[a]
+
+		owners := 0
+		ownerNode := -1
+		var version uint64
+		versionSet := false
+		for _, ci := range cs {
+			switch ci.state {
+			case CM, CO:
+				owners++
+				ownerNode = ci.node
+			case CS:
+			default:
+				return fmt.Errorf("block %#x: transient state %s in cache array of node %d", uint64(a), ci.state, ci.node)
+			}
+			if versionSet && ci.version != version {
+				return fmt.Errorf("block %#x: version divergence among cached copies (%d vs %d)", uint64(a), ci.version, version)
+			}
+			version, versionSet = ci.version, true
+		}
+		if owners > 1 {
+			return fmt.Errorf("block %#x: %d simultaneous owners", uint64(a), owners)
+		}
+		memV := home.store.Read(a)
+		if versionSet && memV > version {
+			return fmt.Errorf("block %#x: memory version %d newer than cached %d", uint64(a), memV, version)
+		}
+		if owners == 0 && versionSet && memV != version {
+			return fmt.Errorf("block %#x: no owner but memory %d != cached %d", uint64(a), memV, version)
+		}
+		if e == nil {
+			if len(cs) > 0 {
+				return fmt.Errorf("block %#x: cached with no directory entry", uint64(a))
+			}
+			continue
+		}
+		switch e.state {
+		case DM, DO:
+			if owners != 1 || ownerNode != e.owner {
+				return fmt.Errorf("block %#x: dir %s owner=%d but caches show owner node %d (count %d)",
+					uint64(a), e.state, e.owner, ownerNode, owners)
+			}
+		case DS, DInv:
+			if owners != 0 {
+				return fmt.Errorf("block %#x: dir %s but node %d holds a dirty copy", uint64(a), e.state, ownerNode)
+			}
+		}
+		// Sharer bookkeeping: every actual S holder must be recorded
+		// (stale extras are fine: S evictions are silent).
+		for _, ci := range cs {
+			if ci.state == CS && e.sharers&bit(coherence.NodeID(ci.node)) == 0 && e.owner != ci.node {
+				return fmt.Errorf("block %#x: node %d holds S but is not in dir sharer set", uint64(a), ci.node)
+			}
+		}
+		if e.state == DInv && len(cs) > 0 {
+			return fmt.Errorf("block %#x: dir DInv but %d cached copies", uint64(a), len(cs))
+		}
+	}
+	return nil
+}

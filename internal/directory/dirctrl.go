@@ -1,0 +1,299 @@
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"specsimp/internal/coherence"
+	"specsimp/internal/mem"
+)
+
+// dirEntry is the stable directory state for one block. Busy (in-flight
+// transaction) bookkeeping lives in dirCtrl.busy so checkpoints only
+// ever see stable states.
+type dirEntry struct {
+	state   DState
+	owner   int // node id, -1 when none
+	sharers uint64
+}
+
+// busyInfo tracks the single in-flight transaction for a block; the
+// directory is blocking and queues later requests until the requestor's
+// FinalAck.
+type busyInfo struct {
+	requestor coherence.NodeID
+	isGetM    bool
+	fwdTo     int // node a forward is outstanding to, -1 when none
+	tid       uint64
+	acks      int
+	complete  dirEntry // stable state applied at FinalAck
+}
+
+type dirCtrl struct {
+	p       *Protocol
+	node    coherence.NodeID
+	store   *mem.Store
+	entries map[coherence.Addr]*dirEntry
+	busy    map[coherence.Addr]*busyInfo
+	queue   map[coherence.Addr][]coherence.Msg
+}
+
+func (d *dirCtrl) entry(a coherence.Addr) *dirEntry {
+	e := d.entries[a]
+	if e == nil {
+		e = &dirEntry{state: DInv, owner: -1}
+		d.entries[a] = e
+	}
+	return e
+}
+
+// logEntry records the old directory entry and memory version before a
+// mutation, for checkpoint rollback.
+func (d *dirCtrl) logEntry(a coherence.Addr) {
+	if d.p.log == nil {
+		return
+	}
+	old := *d.entry(a)
+	d.p.log.LogOldValue(int(d.node), uint64(a)|3, func() { *d.entry(a) = old })
+}
+
+func (d *dirCtrl) logMem(a coherence.Addr) {
+	if d.p.log == nil {
+		return
+	}
+	old := d.store.Read(a)
+	d.p.log.LogOldValue(int(d.node), uint64(a)|2, func() { d.store.Write(a, old) })
+}
+
+func (d *dirCtrl) handle(msg coherence.Msg) {
+	switch msg.Kind {
+	case coherence.GetS, coherence.GetM:
+		// Requests serialize per block: while a transaction is in
+		// flight (or older requests wait), newcomers queue.
+		if d.busy[msg.Addr] != nil {
+			d.queue[msg.Addr] = append(d.queue[msg.Addr], msg)
+			return
+		}
+		d.process(msg)
+	case coherence.PutM:
+		// Writebacks are never queued: the racing PutM is exactly the
+		// case the two protocol variants treat differently.
+		d.handlePutM(msg)
+	case coherence.FinalAck:
+		d.handleFinalAck(msg)
+	default:
+		panic("directory: dir received " + msg.Kind.String())
+	}
+}
+
+func bit(n coherence.NodeID) uint64 { return 1 << uint(n) }
+
+func (d *dirCtrl) process(msg coherence.Msg) {
+	a := msg.Addr
+	e := d.entry(a)
+	req := msg.From
+	// The transaction id is end-to-end: minted by the requestor and
+	// echoed through forwards, responses and the FinalAck.
+	b := &busyInfo{requestor: req, isGetM: msg.Kind == coherence.GetM, fwdTo: -1, tid: msg.TID}
+
+	switch msg.Kind {
+	case coherence.GetS:
+		switch e.state {
+		case DInv, DS:
+			b.complete = dirEntry{state: DS, owner: -1, sharers: e.sharers | bit(req)}
+			d.sendDataFromMem(a, req, 0, b.tid)
+		case DM:
+			b.complete = dirEntry{state: DO, owner: e.owner, sharers: bit(req)}
+			b.fwdTo = e.owner
+			d.fwd(coherence.FwdGetS, a, e.owner, req, 0, b.tid)
+		case DO:
+			b.complete = dirEntry{state: DO, owner: e.owner, sharers: e.sharers | bit(req)}
+			b.fwdTo = e.owner
+			d.fwd(coherence.FwdGetS, a, e.owner, req, 0, b.tid)
+		}
+	case coherence.GetM:
+		others := e.sharers &^ bit(req)
+		acks := bits.OnesCount64(others)
+		b.complete = dirEntry{state: DM, owner: int(req)}
+		b.acks = acks
+		switch {
+		case e.state == DInv:
+			d.sendDataFromMem(a, req, 0, b.tid)
+		case e.state == DS:
+			d.sendDataFromMem(a, req, acks, b.tid)
+			d.sendInvs(a, others, req)
+		case e.state == DM && e.owner != int(req):
+			b.fwdTo = e.owner
+			d.fwd(coherence.FwdGetM, a, e.owner, req, 0, b.tid)
+		case e.state == DO && e.owner == int(req):
+			// Upgrade by the owner itself: no forward; the requestor
+			// keeps its own (freshest) data, so the memory version in
+			// this Data is informational only.
+			d.sendDataFromMem(a, req, acks, b.tid)
+			d.sendInvs(a, others, req)
+		case e.state == DO:
+			b.fwdTo = e.owner
+			d.fwd(coherence.FwdGetM, a, e.owner, req, acks, b.tid)
+			d.sendInvs(a, others, req)
+		default:
+			d.unspecifiedDir(e.state, DEvGetM, msg)
+		}
+	}
+	d.busy[a] = b
+}
+
+func (d *dirCtrl) handlePutM(msg coherence.Msg) {
+	a := msg.Addr
+	from := msg.From
+	if b := d.busy[a]; b != nil {
+		if b.requestor == from && b.isGetM {
+			// The sender's own acquisition of this block has not
+			// completed at the directory: its PutM (Request virtual
+			// network) overtook its FinalAck (FinalAck virtual
+			// network) — cross-vnet reordering the protocol must
+			// tolerate. Defer the writeback behind the FinalAck.
+			// (Found by exhaustive interleaving exploration; see
+			// explore.go.)
+			d.queue[a] = append(d.queue[a], msg)
+			return
+		}
+		if b.fwdTo != int(from) {
+			// Stale writeback from a long-gone owner: ownership moved on
+			// through one or more forwards before this PutM arrived.
+			d.sendWBAck(a, from, false, 0)
+			return
+		}
+		// The §3.1 race: a forward to the writing-back owner is in
+		// flight. Memory takes the written-back data either way.
+		d.p.st.WBRaces.Inc()
+		d.logMem(a)
+		d.store.Write(a, msg.Version)
+		if d.p.cfg.Variant == Full {
+			// Full protocol: the owner may be unable to serve the
+			// forward (it may see the WBAck first), so the directory
+			// supplies the data itself and flags the WBAck so the owner
+			// knows a forward is still coming. The requestor tolerates
+			// the possible duplicate by transaction id.
+			d.p.after(d.p.cfg.DirLatency, func() {
+				d.p.send(coherence.Msg{
+					Kind: coherence.Data, Addr: a, From: d.node,
+					Requestor: b.requestor, Version: msg.Version,
+					AckCount: b.acks, TID: b.tid,
+				}, b.requestor)
+			})
+			d.sendWBAck(a, from, true, b.tid)
+		} else {
+			// Spec protocol: rely on point-to-point ordering — the
+			// forward was sent before this WBAck on the same virtual
+			// network, so the owner will serve it first.
+			d.sendWBAck(a, from, false, b.tid)
+		}
+		if !b.isGetM {
+			// A GetS was in flight: the owner is gone, so the block
+			// completes shared with memory up to date.
+			b.complete.state = DS
+			b.complete.owner = -1
+		}
+		b.fwdTo = -1
+		return
+	}
+	e := d.entry(a)
+	switch {
+	case (e.state == DM || e.state == DO) && e.owner == int(from):
+		d.logEntry(a)
+		d.logMem(a)
+		d.store.Write(a, msg.Version)
+		e.owner = -1
+		if e.state == DO && e.sharers != 0 {
+			e.state = DS
+		} else {
+			e.state = DInv
+			e.sharers = 0
+		}
+		d.sendWBAck(a, from, false, 0)
+	default:
+		// Stale writeback: ownership already moved on (possibly all the
+		// way back to memory); the carried data is dead.
+		d.sendWBAck(a, from, false, 0)
+	}
+}
+
+func (d *dirCtrl) handleFinalAck(msg coherence.Msg) {
+	a := msg.Addr
+	b := d.busy[a]
+	if b == nil || b.requestor != msg.From {
+		panic(fmt.Sprintf("directory: FinalAck without matching busy txn addr=%#x from=%d", uint64(a), msg.From))
+	}
+	d.logEntry(a)
+	*d.entry(a) = b.complete
+	delete(d.busy, a)
+	// Drain the deferred queue: writebacks complete inline (they do not
+	// occupy the directory); the first request re-occupies it.
+	for {
+		q := d.queue[a]
+		if len(q) == 0 {
+			return
+		}
+		next := q[0]
+		if len(q) == 1 {
+			delete(d.queue, a)
+		} else {
+			d.queue[a] = q[1:]
+		}
+		if next.Kind == coherence.PutM {
+			d.handlePutM(next)
+			if d.busy[a] != nil {
+				return // the PutM was re-deferred (cannot happen today, but be safe)
+			}
+			continue
+		}
+		d.process(next)
+		return
+	}
+}
+
+func (d *dirCtrl) sendDataFromMem(a coherence.Addr, to coherence.NodeID, acks int, tid uint64) {
+	version := d.store.Read(a)
+	d.p.after(d.p.cfg.DirLatency+d.p.cfg.MemLatency, func() {
+		d.p.send(coherence.Msg{
+			Kind: coherence.Data, Addr: a, From: d.node,
+			Requestor: to, Version: version, AckCount: acks, TID: tid,
+		}, to)
+	})
+}
+
+func (d *dirCtrl) fwd(kind coherence.MsgKind, a coherence.Addr, owner int, req coherence.NodeID, acks int, tid uint64) {
+	d.p.after(d.p.cfg.DirLatency, func() {
+		d.p.send(coherence.Msg{
+			Kind: kind, Addr: a, From: d.node,
+			Requestor: req, AckCount: acks, TID: tid,
+		}, coherence.NodeID(owner))
+	})
+}
+
+func (d *dirCtrl) sendInvs(a coherence.Addr, targets uint64, req coherence.NodeID) {
+	for n := 0; targets != 0; n++ {
+		if targets&1 != 0 {
+			n := n
+			d.p.after(d.p.cfg.DirLatency, func() {
+				d.p.send(coherence.Msg{
+					Kind: coherence.Inv, Addr: a, From: d.node, Requestor: req,
+				}, coherence.NodeID(n))
+			})
+		}
+		targets >>= 1
+	}
+}
+
+func (d *dirCtrl) sendWBAck(a coherence.Addr, to coherence.NodeID, stale bool, tid uint64) {
+	d.p.after(d.p.cfg.DirLatency, func() {
+		d.p.send(coherence.Msg{
+			Kind: coherence.WBAck, Addr: a, From: d.node, Stale: stale, TID: tid,
+		}, to)
+	})
+}
+
+func (d *dirCtrl) unspecifiedDir(s DState, e DEvent, msg coherence.Msg) {
+	panic(fmt.Sprintf("directory(%s): unspecified directory transition home=%d state=%s event=%s msg={%s}",
+		d.p.cfg.Variant, d.node, s, e, msg))
+}

@@ -1,0 +1,127 @@
+package directory
+
+import (
+	"testing"
+
+	"specsimp/internal/coherence"
+)
+
+// raceScript provokes the §3.1 writeback race: node 1 acquires A, then
+// evicts it via B and C (1-set 2-way cache) while node 2 competes for A.
+func raceScript() [][]ScriptOp {
+	return [][]ScriptOp{
+		0: {},
+		1: {{blkA, coherence.Store}, {blkB, coherence.Store}, {blkC, coherence.Store}},
+		2: {{blkA, coherence.Store}},
+	}
+}
+
+// TestExploreFullNoMisSpeculation: across every explored interleaving
+// the full protocol completes with intact invariants and never
+// mis-speculates.
+func TestExploreFullNoMisSpeculation(t *testing.T) {
+	res := Explore(ExploreConfig{
+		Variant:  Full,
+		Nodes:    4,
+		Script:   raceScript(),
+		MaxPaths: 100_000,
+	})
+	if !res.Ok() {
+		t.Fatalf("violations (%d), first: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.Detected != 0 {
+		t.Fatalf("full variant mis-speculated on %d paths", res.Detected)
+	}
+	if res.Completed != res.Paths {
+		t.Fatalf("completed %d of %d paths", res.Completed, res.Paths)
+	}
+	t.Logf("full: %d interleavings verified (truncated=%v)", res.Paths, res.Truncated)
+}
+
+// TestExploreSpecDetectsAllViolations is the framework's feature (2)
+// within explored bounds: under every interleaving the spec protocol
+// either completes correctly or stops at its designated detection —
+// never a third outcome (silent corruption, unspecified transition
+// panic, or stuck protocol).
+func TestExploreSpecDetectsAllViolations(t *testing.T) {
+	res := Explore(ExploreConfig{
+		Variant:  Spec,
+		Nodes:    4,
+		Script:   raceScript(),
+		MaxPaths: 30_000,
+	})
+	if !res.Ok() {
+		t.Fatalf("violations (%d), first: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.Detected == 0 {
+		t.Fatal("no interleaving triggered the race; exploration proves nothing")
+	}
+	if res.Completed+res.Detected != res.Paths {
+		t.Fatalf("paths=%d completed=%d detected=%d: unexplained outcomes",
+			res.Paths, res.Completed, res.Detected)
+	}
+	t.Logf("spec: %d interleavings — %d completed, %d detected (truncated=%v)",
+		res.Paths, res.Completed, res.Detected, res.Truncated)
+}
+
+// TestExploreSharingScenario explores a read-share/invalidate scenario
+// with no writebacks: both variants must complete every interleaving
+// with zero detections.
+func TestExploreSharingScenario(t *testing.T) {
+	script := [][]ScriptOp{
+		0: {{blkA, coherence.Load}, {blkA, coherence.Store}},
+		1: {{blkA, coherence.Load}},
+		2: {{blkA, coherence.Store}},
+	}
+	for _, v := range []Variant{Full, Spec} {
+		res := Explore(ExploreConfig{
+			Variant:  v,
+			Nodes:    4,
+			Script:   script,
+			MaxPaths: 20_000,
+		})
+		if !res.Ok() {
+			t.Fatalf("%s: %s", v, res.Violations[0])
+		}
+		if res.Detected != 0 {
+			t.Fatalf("%s: detections in a race-free scenario", v)
+		}
+		t.Logf("%s sharing: %d interleavings verified", v, res.Paths)
+	}
+}
+
+// TestExploreUpgradeScenario explores competing upgrades from S.
+func TestExploreUpgradeScenario(t *testing.T) {
+	script := [][]ScriptOp{
+		0: {{blkA, coherence.Load}, {blkA, coherence.Store}},
+		1: {{blkA, coherence.Load}, {blkA, coherence.Store}},
+		2: {},
+	}
+	res := Explore(ExploreConfig{
+		Variant:  Full,
+		Nodes:    4,
+		Script:   script,
+		MaxPaths: 20_000,
+	})
+	if !res.Ok() {
+		t.Fatalf("%s", res.Violations[0])
+	}
+	t.Logf("upgrades: %d interleavings verified", res.Paths)
+}
+
+// TestExploreDeterministicReplay: the same prefix always reproduces the
+// same branch widths (the explorer depends on replay determinism).
+func TestExploreDeterministicReplay(t *testing.T) {
+	cfg := ExploreConfig{Variant: Full, Nodes: 4, Script: raceScript(), MaxPaths: 1}
+	var res ExploreResult
+	w1, _ := runPath(cfg, nil, &res)
+	w2, _ := runPath(cfg, nil, &res)
+	if len(w1) != len(w2) {
+		t.Fatalf("widths diverged: %v vs %v", w1, w2)
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("width[%d]: %d vs %d", i, w1[i], w2[i])
+		}
+	}
+}

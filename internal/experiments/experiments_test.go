@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// tiny returns fast parameters for unit testing the drivers.
+func tiny() Params {
+	return Params{
+		Cycles:             200_000,
+		Runs:               2,
+		CyclesPerSecond:    200_000,
+		CheckpointInterval: 4_000,
+		Workloads:          []workload.Profile{workload.Uniform, workload.Hotspot},
+	}
+}
+
+func TestFig4Driver(t *testing.T) {
+	res := Fig4(tiny())
+	if len(res) != 2 {
+		t.Fatalf("results=%d", len(res))
+	}
+	for _, r := range res {
+		if r.PerfByRate[0].Mean != 1.0 {
+			t.Fatalf("%s: base not normalized to 1: %v", r.Workload, r.PerfByRate[0])
+		}
+		if r.Recoveries[0] != 0 {
+			t.Fatalf("%s: recoveries at rate 0", r.Workload)
+		}
+		if r.Recoveries[100] == 0 {
+			t.Fatalf("%s: no recoveries at rate 100", r.Workload)
+		}
+		// Monotone-ish: rate 100 must not beat rate 0.
+		if r.PerfByRate[100].Mean > 1.05 {
+			t.Fatalf("%s: rate-100 perf %.3f exceeds baseline", r.Workload, r.PerfByRate[100].Mean)
+		}
+	}
+	tab := Fig4Table(res)
+	for _, want := range []string{"workload", "uniform", "hotspot", "projected@4GHz"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("Fig4 table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestFig5Driver(t *testing.T) {
+	p := tiny()
+	p.Workloads = []workload.Profile{workload.Hotspot}
+	res := Fig5(p)
+	if len(res) != 1 {
+		t.Fatal("no results")
+	}
+	r := res[0]
+	if r.AdaptivePerf.Mean <= 0 {
+		t.Fatalf("adaptive perf %v", r.AdaptivePerf)
+	}
+	t.Logf("fig5 %s: adaptive=%.3f recoveries=%.1f reorder=%.5f util=%.2f",
+		r.Workload, r.AdaptivePerf.Mean, r.Recoveries, r.ReorderRate, r.MeanLinkUtil)
+	if !strings.Contains(Fig5Table(res), "adaptive") {
+		t.Error("table broken")
+	}
+}
+
+func TestReorderDriver(t *testing.T) {
+	p := tiny()
+	res := ReorderRates(p, workload.Hotspot)
+	if len(res) != len(ReorderBandwidths) {
+		t.Fatal("missing bandwidth points")
+	}
+	for _, r := range res {
+		if r.Total < 0 || r.Total > 0.5 {
+			t.Fatalf("reorder rate %v implausible", r.Total)
+		}
+	}
+	// The paper: reordering is rare (<1% of messages overall).
+	if res[len(res)-1].Total > 0.05 {
+		t.Logf("warning: high-bandwidth reorder rate %.4f above expectations", res[len(res)-1].Total)
+	}
+	if !strings.Contains(ReorderTable(res), "fwd vnet") {
+		t.Error("table broken")
+	}
+}
+
+func TestSnoopDriver(t *testing.T) {
+	p := tiny()
+	p.Workloads = []workload.Profile{workload.Uniform}
+	res := SnoopRecoveries(p)
+	if len(res) != 1 {
+		t.Fatal("no results")
+	}
+	r := res[0]
+	if r.Perf.Mean < 0.5 || r.Perf.Mean > 1.5 {
+		t.Fatalf("spec snooping perf %.3f wildly off the full protocol", r.Perf.Mean)
+	}
+	// The §5.3 claim: recoveries essentially never happen.
+	if r.CornerDetected > 1 {
+		t.Fatalf("corner detected %.1f times; should be rare", r.CornerDetected)
+	}
+	if !strings.Contains(SnoopTable(res), "corner") {
+		t.Error("table broken")
+	}
+}
+
+func TestBufferSweepDriver(t *testing.T) {
+	p := tiny()
+	res := BufferSweep(p, workload.Hotspot)
+	if len(res) != len(BufferSizes) {
+		t.Fatal("missing sizes")
+	}
+	if res[0].Perf.Mean != 1.0 {
+		t.Fatalf("worst-case baseline not 1.0: %v", res[0].Perf)
+	}
+	var at16, at8 float64
+	for _, r := range res {
+		switch r.BufferSize {
+		case 16:
+			at16 = r.Perf.Mean
+		case 8:
+			at8 = r.Perf.Mean
+		}
+	}
+	t.Logf("buffer sweep: 16 -> %.3f, 8 -> %.3f", at16, at8)
+	if at8 > at16*1.2 {
+		t.Fatalf("8-entry buffers (%.3f) outperform 16 (%.3f)?", at8, at16)
+	}
+	if !strings.Contains(BufferTable(res), "worst-case") {
+		t.Error("table broken")
+	}
+}
+
+func TestSlowStartAblationDriver(t *testing.T) {
+	p := tiny()
+	res := SlowStartAblation(p, workload.Hotspot, []int{1, 4})
+	if len(res) != 2 {
+		t.Fatal("missing points")
+	}
+	for _, r := range res {
+		if r.Perf.Mean <= 0 {
+			t.Fatalf("limit %d: no progress", r.Limit)
+		}
+	}
+}
+
+func TestCheckpointAblationDriver(t *testing.T) {
+	p := tiny()
+	res := CheckpointAblation(p, workload.Uniform, []sim.Time{2_000, 16_000})
+	if len(res) != 2 {
+		t.Fatal("missing points")
+	}
+	if res[0].LogHighWater <= 0 || res[1].LogHighWater <= 0 {
+		t.Fatal("no log occupancy measured")
+	}
+	// Longer intervals hold more uncommitted log state.
+	if res[1].LogHighWater < res[0].LogHighWater {
+		t.Logf("note: high water %0.f < %0.f despite longer interval (small run)", res[1].LogHighWater, res[0].LogHighWater)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(map[string]string{"b": "2", "a": "1"})
+	if s != "a=1 b=2" {
+		t.Fatalf("summary %q", s)
+	}
+}

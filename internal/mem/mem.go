@@ -1,0 +1,31 @@
+// Package mem models main memory contents as per-block data versions.
+// A version is the simulator's stand-in for a block's value: every store
+// produces a new, strictly larger version, so stale data arriving
+// anywhere becomes detectable by comparison.
+package mem
+
+import "specsimp/internal/coherence"
+
+// Store maps block addresses to data versions. Unwritten blocks read as
+// version 0. The zero value is not usable; use NewStore.
+type Store struct {
+	versions map[coherence.Addr]uint64
+}
+
+// NewStore returns an empty memory image.
+func NewStore() *Store {
+	return &Store{versions: make(map[coherence.Addr]uint64)}
+}
+
+// Read returns the version of block a (0 if never written).
+func (s *Store) Read(a coherence.Addr) uint64 {
+	return s.versions[coherence.BlockAddr(a)]
+}
+
+// Write sets the version of block a.
+func (s *Store) Write(a coherence.Addr, v uint64) {
+	s.versions[coherence.BlockAddr(a)] = v
+}
+
+// Len returns the number of blocks ever written.
+func (s *Store) Len() int { return len(s.versions) }

@@ -1,0 +1,683 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"specsimp/internal/sim"
+	"specsimp/internal/stats"
+)
+
+// Network is a 2D torus interconnect bound to a simulation kernel.
+type Network struct {
+	k   *sim.Kernel
+	cfg Config
+	t   topo
+
+	sw []*swch
+	ep []*endpoint
+
+	// seqNext[src][dst][vnet] is the next sequence number to stamp.
+	seqNext [][][]uint64
+	// maxSeen[dst][src][vnet] is the highest sequence number that has
+	// arrived, for reorder detection.
+	maxSeen [][][]uint64
+
+	st NetStats
+
+	adaptiveDisabled bool
+	epoch            uint64 // bumped by Reset to invalidate in-flight arrivals
+
+	// TraceFn, when non-nil, receives one event per message lifecycle
+	// step. Used by examples/reorder to reproduce Figure 1.
+	TraceFn func(TraceEvent)
+
+	// PerturbFn, when non-nil, returns an extra injection delay for a
+	// message. Natural reorderings are rare (that is the paper's
+	// point); experiments that must exercise the mis-speculation path
+	// use this hook to amplify them deterministically.
+	PerturbFn func(m *Message) sim.Time
+}
+
+// NetStats aggregates network measurements.
+type NetStats struct {
+	Sent        stats.Counter
+	Arrived     stats.Counter // enqueued at destination ingress
+	Consumed    stats.Counter // accepted by the client
+	Dropped     stats.Counter // discarded by Reset (recovery)
+	Reordered   []stats.Counter
+	PerVNet     []stats.Counter
+	Deflections stats.Counter // unproductive hops taken under Deflection
+	Latency     stats.Histogram
+	Hops        stats.Sample
+
+	linkUtil [][numPorts]stats.Utilization
+}
+
+// ReorderRate returns the fraction of arrivals on vnet that arrived
+// after a later-sent message from the same source had already arrived.
+func (s *NetStats) ReorderRate(vnet int) float64 {
+	if vnet >= len(s.PerVNet) || s.PerVNet[vnet].Value() == 0 {
+		return 0
+	}
+	return float64(s.Reordered[vnet].Value()) / float64(s.PerVNet[vnet].Value())
+}
+
+// TotalReorderRate returns the reorder fraction across all vnets.
+func (s *NetStats) TotalReorderRate() float64 {
+	var re, all uint64
+	for i := range s.PerVNet {
+		re += s.Reordered[i].Value()
+		all += s.PerVNet[i].Value()
+	}
+	if all == 0 {
+		return 0
+	}
+	return float64(re) / float64(all)
+}
+
+// MeanLinkUtilization returns the mean busy fraction over all
+// switch-to-switch links at time now.
+func (s *NetStats) MeanLinkUtilization(now sim.Time) float64 {
+	var sum float64
+	var n int
+	for i := range s.linkUtil {
+		for d := North; d <= West; d++ {
+			sum += s.linkUtil[i][d].Fraction(uint64(now))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+type fifo []*Message
+
+func (f *fifo) push(m *Message) { *f = append(*f, m) }
+func (f *fifo) pop() *Message {
+	m := (*f)[0]
+	copy(*f, (*f)[1:])
+	(*f)[len(*f)-1] = nil
+	*f = (*f)[:len(*f)-1]
+	return m
+}
+func (f fifo) head() *Message {
+	if len(f) == 0 {
+		return nil
+	}
+	return f[0]
+}
+
+type swch struct {
+	n    *Network
+	node NodeID
+	// in[port][class] are input buffers. The Local port is the
+	// injection queue (unbounded: protocol-level MSHRs throttle it).
+	in [numPorts][]fifo
+	// outBusy[dir] is when the outgoing link in dir frees.
+	outBusy [numPorts]sim.Time
+	// credits[dir][class] is free space in the downstream input buffer;
+	// -1 means unlimited. Used only with separate per-class buffers.
+	credits [numPorts][]int
+	// poolUsed counts occupied slots of the switch's shared input pool
+	// (the §4 simplified design: one pool of BufferSize slots per
+	// switch, shared by every neighbor port and message type).
+	poolUsed int
+
+	arbPending bool
+	rr         int
+}
+
+// sharedPool reports whether the simplified shared-pool flow control is
+// active (no per-class buffers, finite size).
+func (n *Network) sharedPool() bool {
+	return !n.cfg.SeparateVNetBuffers && n.cfg.BufferSize > 0
+}
+
+type endpoint struct {
+	n              *Network
+	node           NodeID
+	client         Client
+	ingress        []fifo
+	rr             int
+	consumePending bool
+}
+
+// New builds a network on kernel k. It panics on an invalid config
+// (configuration is a programming error, not a runtime condition).
+func New(k *sim.Kernel, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{k: k, cfg: cfg, t: topo{cfg.Width, cfg.Height}}
+	nodes := cfg.NumNodes()
+	classes := cfg.classes()
+
+	n.sw = make([]*swch, nodes)
+	n.ep = make([]*endpoint, nodes)
+	for i := 0; i < nodes; i++ {
+		s := &swch{n: n, node: NodeID(i)}
+		for p := 0; p < numPorts; p++ {
+			s.in[p] = make([]fifo, classes)
+		}
+		for d := North; d <= West; d++ {
+			s.credits[d] = make([]int, classes)
+			for c := range s.credits[d] {
+				if cfg.BufferSize == 0 {
+					s.credits[d][c] = -1
+				} else {
+					s.credits[d][c] = cfg.BufferSize
+				}
+			}
+		}
+		n.sw[i] = s
+		n.ep[i] = &endpoint{n: n, node: NodeID(i), ingress: make([]fifo, classes)}
+	}
+
+	n.seqNext = make3d(nodes, nodes, cfg.VNets)
+	n.maxSeen = make3d(nodes, nodes, cfg.VNets)
+	n.st.Reordered = make([]stats.Counter, cfg.VNets)
+	n.st.PerVNet = make([]stats.Counter, cfg.VNets)
+	n.st.linkUtil = make([][numPorts]stats.Utilization, nodes)
+	return n
+}
+
+func make3d(a, b, c int) [][][]uint64 {
+	out := make([][][]uint64, a)
+	for i := range out {
+		out[i] = make([][]uint64, b)
+		for j := range out[i] {
+			out[i][j] = make([]uint64, c)
+		}
+	}
+	return out
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumNodes implements Fabric.
+func (n *Network) NumNodes() int { return n.cfg.NumNodes() }
+
+// Stats exposes the network's counters.
+func (n *Network) Stats() *NetStats { return &n.st }
+
+// AttachClient registers the consumer of messages addressed to node.
+func (n *Network) AttachClient(node NodeID, c Client) { n.ep[node].client = c }
+
+// SetAdaptiveDisabled toggles the forward-progress fallback from paper
+// §3.1: after a recovery, the interconnect selectively disables adaptive
+// routing so the re-execution cannot hit the same reordering race.
+func (n *Network) SetAdaptiveDisabled(v bool) { n.adaptiveDisabled = v }
+
+// AdaptiveDisabled reports the current routing fallback state.
+func (n *Network) AdaptiveDisabled() bool { return n.adaptiveDisabled }
+
+// InFlight returns the number of messages injected but not yet consumed.
+func (n *Network) InFlight() int {
+	return int(n.st.Sent.Value() - n.st.Consumed.Value() - n.st.Dropped.Value())
+}
+
+// Send injects m at its source. VNet out of range or equal src/dst
+// without a size are programming errors and panic.
+func (n *Network) Send(m *Message) {
+	if m.VNet < 0 || m.VNet >= n.cfg.VNets {
+		panic(fmt.Sprintf("network: vnet %d out of range", m.VNet))
+	}
+	if m.Size <= 0 {
+		m.Size = CtrlBytesDefault
+	}
+	m.Seq = n.seqNext[m.Src][m.Dst][m.VNet]
+	n.seqNext[m.Src][m.Dst][m.VNet]++
+	m.SentAt = n.k.Now()
+	m.vc = 0
+	m.Hops = 0
+	n.st.Sent.Inc()
+	n.trace(TraceInject, m.Src, -1, m)
+
+	var jitter sim.Time
+	if n.PerturbFn != nil {
+		jitter = n.PerturbFn(m)
+	}
+	if m.Src == m.Dst {
+		// Loopback: bypass the switch fabric, pay propagation only.
+		epoch := n.epoch
+		n.k.After(n.cfg.PropDelay+jitter, func() {
+			if n.epoch != epoch {
+				n.st.Dropped.Inc()
+				return
+			}
+			n.arriveLocal(m)
+		})
+		return
+	}
+	inject := func() {
+		s := n.sw[m.Src]
+		s.in[Local][n.cfg.classOf(m.VNet, 0)].push(m)
+		s.scheduleArb()
+	}
+	if jitter == 0 {
+		inject()
+		return
+	}
+	epoch := n.epoch
+	n.k.After(jitter, func() {
+		if n.epoch != epoch {
+			n.st.Dropped.Inc()
+			return
+		}
+		inject()
+	})
+}
+
+// CtrlBytesDefault is the assumed size for messages injected without one.
+const CtrlBytesDefault = 8
+
+// Kick re-attempts delivery at node; clients call it after clearing the
+// condition that made Deliver return false.
+func (n *Network) Kick(node NodeID) { n.ep[node].scheduleConsume() }
+
+// Reset drops every in-flight message and restores all buffer credit —
+// the network's part of a SafetyNet recovery (in-flight messages are
+// part of the checkpointed state being discarded).
+func (n *Network) Reset() {
+	n.epoch++
+	for _, s := range n.sw {
+		for p := 0; p < numPorts; p++ {
+			for c := range s.in[p] {
+				n.st.Dropped.Add(uint64(len(s.in[p][c])))
+				s.in[p][c] = nil
+			}
+		}
+		s.poolUsed = 0
+		for d := North; d <= West; d++ {
+			for c := range s.credits[d] {
+				if n.cfg.BufferSize == 0 {
+					s.credits[d][c] = -1
+				} else {
+					s.credits[d][c] = n.cfg.BufferSize
+				}
+			}
+			if s.outBusy[d] > n.k.Now() {
+				s.outBusy[d] = n.k.Now()
+			}
+		}
+	}
+	for _, e := range n.ep {
+		for c := range e.ingress {
+			n.st.Dropped.Add(uint64(len(e.ingress[c])))
+			e.ingress[c] = nil
+		}
+	}
+	// Sequence spaces restart: post-recovery traffic is a fresh stream.
+	for i := range n.seqNext {
+		for j := range n.seqNext[i] {
+			for v := range n.seqNext[i][j] {
+				n.seqNext[i][j][v] = 0
+				n.maxSeen[i][j][v] = 0
+			}
+		}
+	}
+}
+
+func (n *Network) trace(kind TraceEventKind, node NodeID, dir int, m *Message) {
+	if n.TraceFn != nil {
+		n.TraceFn(TraceEvent{At: n.k.Now(), Node: node, Dir: dir, Kind: kind, Msg: m})
+	}
+}
+
+func (n *Network) serLatency(size int) sim.Time {
+	c := math.Ceil(float64(size) / n.cfg.LinkBandwidth)
+	if c < 1 {
+		c = 1
+	}
+	return sim.Time(c)
+}
+
+// ---- switch ----
+
+func (s *swch) scheduleArb() {
+	if s.arbPending {
+		return
+	}
+	s.arbPending = true
+	s.n.k.After(0, s.arb)
+}
+
+func (s *swch) scheduleArbAt(t sim.Time) {
+	// Timed retry for link-busy blocking; cheap duplicate events are
+	// tolerated (arb is idempotent).
+	n := s.n
+	s.n.k.At(t, func() {
+		if !s.arbPending {
+			s.arbPending = true
+			n.k.After(0, s.arb)
+		}
+	})
+}
+
+func (s *swch) arb() {
+	s.arbPending = false
+	n := s.n
+	now := n.k.Now()
+	classes := n.cfg.classes()
+	total := numPorts * classes
+	progressed := false
+	var retryAt sim.Time = sim.Forever
+
+	for i := 0; i < total; i++ {
+		idx := (s.rr + i) % total
+		port := idx / classes
+		class := idx % classes
+		q := &s.in[port][class]
+		m := q.head()
+		if m == nil {
+			continue
+		}
+		if m.Dst == s.node {
+			// Eject to the local endpoint.
+			ep := n.ep[s.node]
+			if !ep.hasSpace(n.cfg.classOf(m.VNet, 0)) {
+				continue // ingress full; endpoint consume will re-arb
+			}
+			q.pop()
+			s.returnCredit(port, class)
+			n.arriveLocal(m)
+			progressed = true
+			continue
+		}
+		dir, ok, busyUntil := s.pickOutput(m)
+		if !ok {
+			if busyUntil > now && busyUntil < retryAt {
+				retryAt = busyUntil
+			}
+			continue
+		}
+		q.pop()
+		s.returnCredit(port, class)
+		s.forward(m, dir)
+		progressed = true
+	}
+	if progressed {
+		s.rr = (s.rr + 1) % total
+		s.scheduleArb() // another pass may now make progress
+	} else if retryAt != sim.Forever {
+		s.scheduleArbAt(retryAt)
+	}
+}
+
+// pickOutput chooses an output direction for m, honoring routing policy,
+// link occupancy and downstream credit. When no direction is usable it
+// returns the earliest time a link-busy candidate frees (0 if blocked
+// purely on credit).
+func (s *swch) pickOutput(m *Message) (dir int, ok bool, busyUntil sim.Time) {
+	n := s.n
+	now := n.k.Now()
+	adaptive := (n.cfg.Routing == Adaptive || n.cfg.Routing == Deflection) && !n.adaptiveDisabled
+
+	if !adaptive {
+		d, crosses := n.t.staticNext(s.node, m.Dst)
+		if d == Local {
+			return 0, false, 0 // shouldn't happen: Dst==node handled earlier
+		}
+		vc := s.nextVC(m, d, crosses)
+		cls := n.cfg.classOf(m.VNet, vc)
+		if !s.hasCredit(d, cls) {
+			return 0, false, 0
+		}
+		if s.outBusy[d] > now {
+			return 0, false, s.outBusy[d]
+		}
+		m.vc = vc
+		return d, true, 0
+	}
+
+	// Adaptive: among productive directions with credit, prefer a free
+	// link with the least-occupied downstream input, deterministic
+	// tie-break by candidate order.
+	cands := n.t.productive(s.node, m.Dst)
+	best := -1
+	bestOcc := 1 << 30
+	minBusy := sim.Forever
+	for _, d := range cands {
+		vc := s.nextVC(m, d, n.t.crossesDatelineDir(s.node, d))
+		cls := n.cfg.classOf(m.VNet, vc)
+		if !s.hasCredit(d, cls) {
+			continue
+		}
+		if s.outBusy[d] > now {
+			if s.outBusy[d] < minBusy {
+				minBusy = s.outBusy[d]
+			}
+			continue
+		}
+		occ := n.downstreamOccupancy(s.node, d)
+		if occ < bestOcc {
+			bestOcc = occ
+			best = d
+		}
+	}
+	if best < 0 && n.cfg.Routing == Deflection {
+		// Every productive direction is blocked: deflect through any
+		// usable output rather than wait on a (possibly cyclic) buffer
+		// dependence. The hop is wasted distance but keeps packets
+		// moving; livelock, if it arises, trips the transaction
+		// timeout (paper footnote 3).
+		for d := North; d <= West; d++ {
+			vc := s.nextVC(m, d, n.t.crossesDatelineDir(s.node, d))
+			if !s.hasCredit(d, n.cfg.classOf(m.VNet, vc)) {
+				continue
+			}
+			if s.outBusy[d] > now {
+				if s.outBusy[d] < minBusy {
+					minBusy = s.outBusy[d]
+				}
+				continue
+			}
+			occ := n.downstreamOccupancy(s.node, d)
+			if occ < bestOcc {
+				bestOcc = occ
+				best = d
+			}
+		}
+		if best >= 0 {
+			n.st.Deflections.Inc()
+		}
+	}
+	if best < 0 {
+		if minBusy != sim.Forever {
+			return 0, false, minBusy
+		}
+		return 0, false, 0
+	}
+	m.vc = s.nextVC(m, best, n.t.crossesDatelineDir(s.node, best))
+	return best, true, 0
+}
+
+// downstreamOccupancy is the total queued messages at the input port the
+// link in dir feeds — the "outgoing queue length" signal of paper §3.1.
+func (n *Network) downstreamOccupancy(from NodeID, dir int) int {
+	nb := n.t.neighbor(from, dir)
+	p := opposite(dir)
+	occ := 0
+	for _, q := range n.sw[nb].in[p] {
+		occ += len(q)
+	}
+	return occ
+}
+
+// nextVC computes the virtual channel for the next hop: reset on
+// dimension change, escalate to VC1 after crossing the dateline.
+func (s *swch) nextVC(m *Message, dir int, crosses bool) int {
+	if s.n.cfg.VCsPerVNet < 2 {
+		return 0
+	}
+	vc := m.vc
+	if dimension(dir) != dimensionOfHop(m) {
+		vc = 0
+	}
+	if crosses {
+		vc = 1
+	}
+	return vc
+}
+
+func dimension(dir int) int {
+	if dir == East || dir == West {
+		return 0
+	}
+	return 1
+}
+
+// dimensionOfHop is the dimension (X=0, Y=1) of the message's previous
+// hop. Dimension-order traffic changes dimension at most once; the
+// dateline scheme resets to VC0 whenever a message enters a new ring.
+func dimensionOfHop(m *Message) int { return m.dimHint }
+
+func (s *swch) hasCredit(dir, class int) bool {
+	if s.n.sharedPool() {
+		nb := s.n.sw[s.n.t.neighbor(s.node, dir)]
+		return nb.poolUsed < s.n.cfg.BufferSize
+	}
+	c := s.credits[dir][class]
+	return c == -1 || c > 0
+}
+
+func (s *swch) forward(m *Message, dir int) {
+	n := s.n
+	now := n.k.Now()
+	cls := n.cfg.classOf(m.VNet, m.vc)
+	if n.sharedPool() {
+		n.sw[n.t.neighbor(s.node, dir)].poolUsed++
+	} else if s.credits[dir][cls] > 0 {
+		s.credits[dir][cls]--
+	}
+	ser := n.serLatency(m.Size)
+	s.outBusy[dir] = now + ser
+	n.st.linkUtil[s.node][dir].AddBusy(uint64(ser))
+	m.Hops++
+	m.dimHint = dimension(dir)
+	n.trace(TraceForward, s.node, dir, m)
+
+	dst := n.t.neighbor(s.node, dir)
+	inPort := opposite(dir)
+	epoch := n.epoch
+	n.k.After(ser+n.cfg.PropDelay, func() {
+		if n.epoch != epoch {
+			n.st.Dropped.Inc()
+			return
+		}
+		r := n.sw[dst]
+		r.in[inPort][n.cfg.classOf(m.VNet, m.vc)].push(m)
+		r.scheduleArb()
+	})
+}
+
+// returnCredit frees the input slot the message occupied and wakes the
+// switches that may have been blocked on it. Local-port (injection)
+// slots are unbounded.
+func (s *swch) returnCredit(port, class int) {
+	if port == Local {
+		return
+	}
+	n := s.n
+	if n.sharedPool() {
+		// A pool slot freed: any neighbor could have been waiting.
+		s.poolUsed--
+		for d := North; d <= West; d++ {
+			n.sw[n.t.neighbor(s.node, d)].scheduleArb()
+		}
+		return
+	}
+	up := n.sw[n.t.neighbor(s.node, port)]
+	d := opposite(port)
+	if up.credits[d][class] >= 0 {
+		up.credits[d][class]++
+	}
+	up.scheduleArb()
+}
+
+// ---- endpoint ----
+
+func (n *Network) arriveLocal(m *Message) {
+	now := n.k.Now()
+	m.DeliveredAt = now
+	n.st.Arrived.Inc()
+	n.st.PerVNet[m.VNet].Inc()
+	n.st.Latency.Observe(uint64(now - m.SentAt))
+	n.st.Hops.Observe(float64(m.Hops))
+	if m.Seq < n.maxSeen[m.Dst][m.Src][m.VNet] {
+		n.st.Reordered[m.VNet].Inc()
+	} else {
+		n.maxSeen[m.Dst][m.Src][m.VNet] = m.Seq
+	}
+	n.trace(TraceDeliver, m.Dst, -1, m)
+
+	e := n.ep[m.Dst]
+	e.ingress[n.cfg.classOf(m.VNet, 0)].push(m)
+	e.scheduleConsume()
+}
+
+func (e *endpoint) hasSpace(class int) bool {
+	if e.n.cfg.EndpointBufferSize == 0 {
+		return true
+	}
+	return len(e.ingress[class]) < e.n.cfg.EndpointBufferSize
+}
+
+func (e *endpoint) scheduleConsume() {
+	if e.consumePending {
+		return
+	}
+	e.consumePending = true
+	e.n.k.After(0, e.consume)
+}
+
+func (e *endpoint) consume() {
+	e.consumePending = false
+	n := e.n
+	rate := n.cfg.EjectRate
+	if rate <= 0 {
+		rate = 1
+	}
+	classes := len(e.ingress)
+	consumed := 0
+	epoch := n.epoch
+	// One pass over classes in rotating order, consuming up to rate.
+	for i := 0; i < classes && consumed < rate; i++ {
+		c := (e.rr + i) % classes
+		m := e.ingress[c].head()
+		if m == nil {
+			continue
+		}
+		ok := e.client == nil || e.client.Deliver(m)
+		if n.epoch != epoch {
+			// Delivery triggered a recovery; the queues were reset
+			// under us. The message was consumed (and accounted as
+			// dropped by Reset along with everything queued).
+			return
+		}
+		if !ok {
+			continue // head-of-line blocked in this class
+		}
+		e.ingress[c].pop()
+		n.st.Consumed.Inc()
+		consumed++
+		n.sw[e.node].scheduleArb() // ingress space freed
+	}
+	if consumed > 0 {
+		e.rr = (e.rr + 1) % classes
+	}
+	// If anything remains, try again next cycle (rate limit) — but only
+	// if we made progress; otherwise wait for an explicit Kick.
+	if consumed > 0 {
+		for c := range e.ingress {
+			if len(e.ingress[c]) > 0 {
+				n.k.After(1, func() { e.scheduleConsume() })
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package network
+
+// NodeID identifies an endpoint/switch position in the torus,
+// row-major: node = y*Width + x.
+type NodeID int
+
+// Port numbers at each switch. Local is the node interface; the four
+// directions are the neighbor links.
+const (
+	Local = iota
+	North // y-1 (wrapping)
+	East  // x+1 (wrapping)
+	South // y+1 (wrapping)
+	West  // x-1 (wrapping)
+	numPorts
+)
+
+var portNames = [numPorts]string{"local", "north", "east", "south", "west"}
+
+// PortName returns a human-readable port name for traces.
+func PortName(p int) string {
+	if p >= 0 && p < numPorts {
+		return portNames[p]
+	}
+	return "?"
+}
+
+type topo struct {
+	w, h int
+}
+
+func (t topo) nodes() int { return t.w * t.h }
+
+func (t topo) xy(n NodeID) (int, int) { return int(n) % t.w, int(n) / t.w }
+
+func (t topo) node(x, y int) NodeID {
+	x = ((x % t.w) + t.w) % t.w
+	y = ((y % t.h) + t.h) % t.h
+	return NodeID(y*t.w + x)
+}
+
+// neighbor returns the node adjacent to n in direction dir.
+func (t topo) neighbor(n NodeID, dir int) NodeID {
+	x, y := t.xy(n)
+	switch dir {
+	case North:
+		return t.node(x, y-1)
+	case East:
+		return t.node(x+1, y)
+	case South:
+		return t.node(x, y+1)
+	case West:
+		return t.node(x-1, y)
+	}
+	return n
+}
+
+// opposite returns the port on the receiving switch for a message sent
+// out of dir on the sending switch.
+func opposite(dir int) int {
+	switch dir {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Local
+}
+
+// ringDist returns the minimal distance and preferred step (+1/-1) from
+// a to b on a ring of size n. On ties (exactly halfway) both directions
+// are minimal; the returned step is +1 and tie reports true.
+func ringDist(a, b, n int) (dist, step int, tie bool) {
+	fwd := ((b-a)%n + n) % n
+	bwd := n - fwd
+	if fwd == 0 {
+		return 0, 0, false
+	}
+	switch {
+	case fwd < bwd:
+		return fwd, 1, false
+	case bwd < fwd:
+		return bwd, -1, false
+	default:
+		return fwd, 1, true
+	}
+}
+
+// dist returns the minimal hop distance between two nodes on the torus.
+func (t topo) dist(a, b NodeID) int {
+	ax, ay := t.xy(a)
+	bx, by := t.xy(b)
+	dx, _, _ := ringDist(ax, bx, t.w)
+	dy, _, _ := ringDist(ay, by, t.h)
+	return dx + dy
+}
+
+// productive returns every direction that reduces the minimal distance
+// from cur to dst (both wrap directions on ties), in deterministic order.
+func (t topo) productive(cur, dst NodeID) []int {
+	var dirs []int
+	cx, cy := t.xy(cur)
+	dx, dy := t.xy(dst)
+	if xd, xstep, xtie := ringDist(cx, dx, t.w); xd > 0 {
+		if xstep == 1 || xtie {
+			dirs = append(dirs, East)
+		}
+		if xstep == -1 || xtie {
+			dirs = append(dirs, West)
+		}
+	}
+	if yd, ystep, ytie := ringDist(cy, dy, t.h); yd > 0 {
+		if ystep == 1 || ytie {
+			dirs = append(dirs, South)
+		}
+		if ystep == -1 || ytie {
+			dirs = append(dirs, North)
+		}
+	}
+	return dirs
+}
+
+// staticNext returns the single dimension-order (X then Y) next hop
+// direction, with deterministic tie-breaking (East/South preferred),
+// and whether that hop crosses the dateline of its dimension.
+//
+// The dateline sits on the wrap link between coordinate w-1 and 0; a
+// message that crosses it switches to virtual channel 1, which breaks
+// the ring's channel-dependence cycle (Dally's scheme, paper's [7]).
+func (t topo) staticNext(cur, dst NodeID) (dir int, crossesDateline bool) {
+	cx, cy := t.xy(cur)
+	dx, dy := t.xy(dst)
+	if xd, xstep, _ := ringDist(cx, dx, t.w); xd > 0 {
+		if xstep == 1 {
+			return East, cx == t.w-1
+		}
+		return West, cx == 0
+	}
+	if yd, ystep, _ := ringDist(cy, dy, t.h); yd > 0 {
+		if ystep == 1 {
+			return South, cy == t.h-1
+		}
+		return North, cy == 0
+	}
+	return Local, false
+}
+
+// crossesDatelineDir reports whether taking dir from cur wraps around
+// the torus edge (used by adaptive routing's VC selection as well).
+func (t topo) crossesDatelineDir(cur NodeID, dir int) bool {
+	x, y := t.xy(cur)
+	switch dir {
+	case East:
+		return x == t.w-1
+	case West:
+		return x == 0
+	case South:
+		return y == t.h-1
+	case North:
+		return y == 0
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+// Package processor models the paper's processor: a simple in-order
+// core that executes one instruction per cycle given a perfect memory
+// system (4 GIPS at 4 GHz) and issues blocking requests to the cache
+// hierarchy (paper §5.1). The Pool coordinates all cores: it supports
+// the global outstanding-transaction limit that implements slow-start
+// (paper §3.2/§4 forward progress), pause/resume for checkpoint drains,
+// and snapshot/restore for SafetyNet recovery.
+package processor
+
+import (
+	"specsimp/internal/coherence"
+	"specsimp/internal/sim"
+	"specsimp/internal/stats"
+	"specsimp/internal/workload"
+)
+
+// AccessFunc issues one memory access to the protocol; done fires at
+// completion.
+type AccessFunc func(node coherence.NodeID, addr coherence.Addr, kind coherence.AccessType, done func())
+
+// Processor is one blocking core driven by a workload generator.
+type Processor struct {
+	pool *Pool
+	node coherence.NodeID
+	gen  workload.Generator
+
+	// Instret counts retired instructions (think cycles + 1 per memory
+	// reference), the numerator of the performance metric.
+	instret uint64
+
+	epoch   uint64 // invalidates scheduled steps after restore
+	pending bool   // an access is outstanding
+	holding bool   // waiting for an outstanding-limit token
+}
+
+// Snapshot is one core's architectural state at a checkpoint.
+type Snapshot struct {
+	Gen     workload.Snapshot
+	Instret uint64
+}
+
+// Pool owns all processors of a system.
+type Pool struct {
+	k      *sim.Kernel
+	access AccessFunc
+	procs  []*Processor
+
+	limit    int // 0 = unlimited (slow-start sets 1, then restores)
+	inflight int
+	waiting  []*Processor
+
+	paused   bool
+	resumeAt sim.Time
+
+	limitStalls stats.Counter
+}
+
+// NewPool builds n processors driven by per-node generators.
+func NewPool(k *sim.Kernel, n int, access AccessFunc, gens []workload.Generator) *Pool {
+	if len(gens) != n {
+		panic("processor: generator count mismatch")
+	}
+	p := &Pool{k: k, access: access}
+	for i := 0; i < n; i++ {
+		p.procs = append(p.procs, &Processor{pool: p, node: coherence.NodeID(i), gen: gens[i]})
+	}
+	return p
+}
+
+// Start begins execution on every core.
+func (p *Pool) Start() {
+	for _, c := range p.procs {
+		c.scheduleStep(0)
+	}
+}
+
+// Instructions returns the total retired instructions across cores.
+func (p *Pool) Instructions() uint64 {
+	var total uint64
+	for _, c := range p.procs {
+		total += c.instret
+	}
+	return total
+}
+
+// NodeInstructions returns one core's retired instruction count.
+func (p *Pool) NodeInstructions(i int) uint64 { return p.procs[i].instret }
+
+// Outstanding returns the number of in-flight memory transactions.
+func (p *Pool) Outstanding() int { return p.inflight }
+
+// SetOutstandingLimit implements core.OutstandingLimiter: it bounds
+// concurrently outstanding coherence transactions across the machine
+// (slow-start uses 1; 0 removes the bound).
+func (p *Pool) SetOutstandingLimit(n int) {
+	p.limit = n
+	p.drainWaiting()
+}
+
+// Pause stops cores from issuing new accesses (checkpoint drain).
+// In-flight accesses complete normally.
+func (p *Pool) Pause() { p.paused = true }
+
+// Resume restarts issuing at time at (now if earlier).
+func (p *Pool) Resume(at sim.Time) {
+	p.paused = false
+	if at < p.k.Now() {
+		at = p.k.Now()
+	}
+	p.resumeAt = at
+	d := at - p.k.Now()
+	for _, c := range p.procs {
+		if !c.pending && !c.holding {
+			c.scheduleStep(d)
+		}
+	}
+	p.drainWaiting()
+}
+
+// SnapshotAll captures every core's architectural state. Cores must be
+// quiesced (no pending accesses) — the checkpoint drain guarantees it.
+func (p *Pool) SnapshotAll() []Snapshot {
+	out := make([]Snapshot, len(p.procs))
+	for i, c := range p.procs {
+		out[i] = Snapshot{Gen: c.gen.Snapshot(), Instret: c.instret}
+	}
+	return out
+}
+
+// RestoreAll rewinds every core to a snapshot and invalidates all
+// scheduled work. The caller resumes execution via Resume.
+func (p *Pool) RestoreAll(snaps []Snapshot) {
+	p.inflight = 0
+	p.waiting = nil
+	for i, c := range p.procs {
+		c.gen.Restore(snaps[i].Gen)
+		c.instret = snaps[i].Instret
+		c.epoch++
+		c.pending = false
+		c.holding = false
+	}
+}
+
+// LimitStalls returns how many issue attempts were deferred by the
+// outstanding limit (slow-start's visible cost).
+func (p *Pool) LimitStalls() uint64 { return p.limitStalls.Value() }
+
+func (p *Pool) drainWaiting() {
+	for len(p.waiting) > 0 && (p.limit == 0 || p.inflight < p.limit) && !p.paused {
+		c := p.waiting[0]
+		p.waiting = p.waiting[1:]
+		c.holding = false
+		c.issue()
+	}
+}
+
+// ---- per-core execution ----
+
+func (c *Processor) scheduleStep(d sim.Time) {
+	e := c.epoch
+	c.pool.k.After(d, func() {
+		if c.epoch == e {
+			c.step()
+		}
+	})
+}
+
+// step retires the current op's think time, then issues its memory
+// reference (subject to pause and the outstanding limit).
+func (c *Processor) step() {
+	p := c.pool
+	if p.paused || p.k.Now() < p.resumeAt {
+		// Parked: Resume reschedules us.
+		return
+	}
+	if p.limit != 0 && p.inflight >= p.limit {
+		c.holding = true
+		p.waiting = append(p.waiting, c)
+		p.limitStalls.Inc()
+		return
+	}
+	c.issue()
+}
+
+func (c *Processor) issue() {
+	p := c.pool
+	op := c.gen.Peek()
+	p.inflight++
+	c.pending = true
+	e := c.epoch
+	p.k.After(op.Think, func() {
+		if c.epoch != e {
+			return
+		}
+		p.access(c.node, op.Addr, op.Kind, func() {
+			if c.epoch != e {
+				return
+			}
+			c.pending = false
+			p.inflight--
+			c.instret += uint64(op.Think) + 1
+			c.gen.Advance()
+			p.drainWaiting()
+			c.scheduleStep(0)
+		})
+	})
+}

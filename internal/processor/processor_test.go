@@ -1,0 +1,182 @@
+package processor
+
+import (
+	"testing"
+
+	"specsimp/internal/coherence"
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// fixedLatency completes every access after d cycles.
+func fixedLatency(k *sim.Kernel, d sim.Time) AccessFunc {
+	return func(_ coherence.NodeID, _ coherence.Addr, _ coherence.AccessType, done func()) {
+		k.After(d, done)
+	}
+}
+
+func newPool(k *sim.Kernel, n int, access AccessFunc) *Pool {
+	gens := make([]workload.Generator, n)
+	for i := range gens {
+		gens[i] = workload.New(workload.Uniform, i, n, 42)
+	}
+	return NewPool(k, n, access, gens)
+}
+
+func TestPoolMakesProgress(t *testing.T) {
+	k := sim.NewKernel()
+	p := newPool(k, 4, fixedLatency(k, 10))
+	p.Start()
+	k.Run(10_000)
+	if p.Instructions() == 0 {
+		t.Fatal("no instructions retired")
+	}
+	for i := 0; i < 4; i++ {
+		if p.NodeInstructions(i) == 0 {
+			t.Fatalf("core %d idle", i)
+		}
+	}
+}
+
+func TestBlockingSemantics(t *testing.T) {
+	// A core never has two outstanding accesses.
+	k := sim.NewKernel()
+	outstanding := map[coherence.NodeID]int{}
+	var access AccessFunc = func(n coherence.NodeID, _ coherence.Addr, _ coherence.AccessType, done func()) {
+		outstanding[n]++
+		if outstanding[n] > 1 {
+			t.Fatalf("core %d has %d outstanding accesses", n, outstanding[n])
+		}
+		k.After(7, func() {
+			outstanding[n]--
+			done()
+		})
+	}
+	p := newPool(k, 4, access)
+	p.Start()
+	k.Run(20_000)
+}
+
+func TestOutstandingLimit(t *testing.T) {
+	k := sim.NewKernel()
+	max := 0
+	cur := 0
+	var access AccessFunc = func(_ coherence.NodeID, _ coherence.Addr, _ coherence.AccessType, done func()) {
+		cur++
+		if cur > max {
+			max = cur
+		}
+		k.After(30, func() {
+			cur--
+			done()
+		})
+	}
+	p := newPool(k, 8, access)
+	p.SetOutstandingLimit(2)
+	p.Start()
+	k.Run(20_000)
+	// The limit token is held across think time, so in-protocol
+	// concurrency never exceeds the limit.
+	if max > 2 {
+		t.Fatalf("max outstanding %d exceeds limit 2", max)
+	}
+	if p.LimitStalls() == 0 {
+		t.Fatal("no stalls recorded despite a binding limit")
+	}
+	p.SetOutstandingLimit(0)
+	before := p.Instructions()
+	k.Run(40_000)
+	if p.Instructions() <= before {
+		t.Fatal("lifting the limit did not resume progress")
+	}
+}
+
+func TestSlowStartThrottlesThroughput(t *testing.T) {
+	run := func(limit int) uint64 {
+		k := sim.NewKernel()
+		p := newPool(k, 8, fixedLatency(k, 50))
+		p.SetOutstandingLimit(limit)
+		p.Start()
+		k.Run(100_000)
+		return p.Instructions()
+	}
+	free := run(0)
+	slow := run(1)
+	if slow >= free/2 {
+		t.Fatalf("limit 1 retired %d vs unlimited %d; throttle ineffective", slow, free)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	k := sim.NewKernel()
+	p := newPool(k, 4, fixedLatency(k, 5))
+	p.Start()
+	k.Run(5_000)
+	p.Pause()
+	k.Run(6_000) // drain
+	frozen := p.Instructions()
+	k.Run(20_000)
+	if p.Instructions() != frozen {
+		t.Fatalf("instructions advanced while paused: %d -> %d", frozen, p.Instructions())
+	}
+	p.Resume(k.Now() + 100)
+	k.Run(40_000)
+	if p.Instructions() <= frozen {
+		t.Fatal("no progress after resume")
+	}
+}
+
+func TestSnapshotRestoreReplay(t *testing.T) {
+	k := sim.NewKernel()
+	p := newPool(k, 4, fixedLatency(k, 10))
+	p.Start()
+	k.Run(4_000)
+	p.Pause()
+	k.Run(5_000)
+	snaps := p.SnapshotAll()
+	instrAtSnap := p.Instructions()
+	p.Resume(k.Now())
+	k.Run(30_000)
+	if p.Instructions() <= instrAtSnap {
+		t.Fatal("no post-snapshot progress")
+	}
+	// Roll back: instructions return to the snapshot value and the
+	// machine keeps running deterministically.
+	p.RestoreAll(snaps)
+	if p.Instructions() != instrAtSnap {
+		t.Fatalf("instret after restore %d want %d", p.Instructions(), instrAtSnap)
+	}
+	p.Resume(k.Now() + 50)
+	k.Run(60_000)
+	if p.Instructions() <= instrAtSnap {
+		t.Fatal("no progress after restore+resume")
+	}
+	if p.Outstanding() < 0 {
+		t.Fatal("negative outstanding count")
+	}
+}
+
+func TestRestoreCancelsInFlight(t *testing.T) {
+	// Completions of pre-restore accesses must not leak into the
+	// restored execution (epoch guard).
+	k := sim.NewKernel()
+	var fire []func()
+	var access AccessFunc = func(_ coherence.NodeID, _ coherence.Addr, _ coherence.AccessType, done func()) {
+		fire = append(fire, done) // never completes unless fired manually
+	}
+	p := newPool(k, 2, access)
+	p.Start()
+	k.Run(1_000)
+	if len(fire) == 0 {
+		t.Fatal("no accesses issued")
+	}
+	snaps := p.SnapshotAll() // cores are mid-access; snapshot still legal here because gens only advance at completion
+	p.RestoreAll(snaps)
+	for _, f := range fire {
+		f() // stale completions
+	}
+	k.Run(2_000)
+	if p.Outstanding() != len(p.procs) && p.Outstanding() > len(p.procs) {
+		t.Fatalf("outstanding=%d after stale completions", p.Outstanding())
+	}
+}

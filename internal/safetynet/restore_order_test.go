@@ -1,0 +1,169 @@
+package safetynet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specsimp/internal/sim"
+)
+
+// boundedSet models a W-way cache set through the undo log, the way the
+// protocol cache controllers do: installs need a free way, and rollback
+// entries may transiently find the set over-full because first-write-
+// per-epoch deduplication can order a reinstalled line's undo before
+// its evictee's. The model mirrors the deferred-install fix: restores
+// that find no room park until the pass ends.
+type boundedSet struct {
+	m    *Manager
+	node int
+	ways int
+	held map[uint64]bool
+	park map[uint64]bool
+}
+
+func newBoundedSet(m *Manager, ways int) *boundedSet {
+	return &boundedSet{m: m, ways: ways, held: map[uint64]bool{}, park: map[uint64]bool{}}
+}
+
+func (s *boundedSet) log(key uint64) {
+	present := s.held[key]
+	s.m.LogOldValue(s.node, key, func() { s.restore(key, present) })
+}
+
+func (s *boundedSet) install(key uint64) bool {
+	if len(s.held) >= s.ways {
+		return false
+	}
+	s.log(key)
+	s.held[key] = true
+	return true
+}
+
+func (s *boundedSet) evict(key uint64) {
+	if !s.held[key] {
+		return
+	}
+	s.log(key)
+	delete(s.held, key)
+}
+
+func (s *boundedSet) restore(key uint64, present bool) {
+	if !present {
+		delete(s.park, key)
+		delete(s.held, key)
+		return
+	}
+	if s.held[key] {
+		return
+	}
+	if len(s.held) >= s.ways {
+		s.park[key] = true
+		return
+	}
+	delete(s.park, key)
+	s.held[key] = true
+}
+
+func (s *boundedSet) flush(t *testing.T) {
+	for key := range s.park {
+		if len(s.held) >= s.ways {
+			t.Fatalf("set still full flushing deferred restore of %d", key)
+		}
+		s.held[key] = true
+	}
+	s.park = map[uint64]bool{}
+}
+
+// TestDeferredRestoreRegression reproduces the exact dedup-reordering
+// scenario the fault-injection tests hit: within one epoch, evict A,
+// install C, evict C, reinstall A — the reinstall dedups into A's
+// (earlier) entry, so C's "absent" undo runs first and A's "present"
+// undo finds the set full of B... which has an even older entry.
+func TestDeferredRestoreRegression(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewManager(k, DefaultConfig(1, 100))
+	s := newBoundedSet(m, 2)
+	// Checkpoint state: {A, B}.
+	s.held[1] = true
+	s.held[2] = true
+	m.TakeCheckpoint(nil)
+
+	s.evict(2)   // B out (logged: B present)
+	s.install(3) // C in (logged: C absent)
+	s.evict(1)   // A out (logged: A present)
+	s.install(2) // B back in (dedup: B already logged)
+	s.evict(3)   // C out (dedup)
+	s.install(1) // A back in (dedup)
+	// Current: {A, B} — same contents, but the undo entries are ordered
+	// B:present, C:absent, A:present, and reverse application visits
+	// A:present first while the set still holds {A, B}.
+	k.Run(1000)
+	m.Recover()
+	s.flush(t)
+	if !s.held[1] || !s.held[2] || s.held[3] || len(s.held) != 2 {
+		t.Fatalf("restored set %v, want {1,2}", s.held)
+	}
+}
+
+// Property: arbitrary bounded-set histories roll back to the exact
+// checkpoint contents once deferred installs are flushed.
+func TestBoundedSetRestoreProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		k := sim.NewKernel()
+		m := NewManager(k, DefaultConfig(1, 100))
+		s := newBoundedSet(m, 2)
+		r := sim.NewRNG(seed)
+		keys := []uint64{1, 2, 3, 4}
+		// Random initial contents.
+		for _, key := range keys {
+			if len(s.held) < s.ways && r.Bool(0.5) {
+				s.held[key] = true
+			}
+		}
+		history := map[uint64]map[uint64]bool{}
+		record := func(epoch uint64) {
+			snap := map[uint64]bool{}
+			for k2 := range s.held {
+				snap[k2] = true
+			}
+			history[epoch] = snap
+		}
+		record(m.TakeCheckpoint(nil))
+		// Random churn across several epochs.
+		for step := 0; step < 60; step++ {
+			key := keys[r.Intn(len(keys))]
+			if s.held[key] {
+				s.evict(key)
+			} else {
+				s.install(key)
+			}
+			if step%15 == 14 {
+				k.Run(k.Now() + 100)
+				record(m.TakeCheckpoint(nil))
+			}
+		}
+		k.Run(k.Now() + 50)
+		epoch, _ := m.RecoveryPoint()
+		m.Recover()
+		for key := range s.park {
+			if len(s.held) >= s.ways {
+				return false
+			}
+			s.held[key] = true
+			delete(s.park, key)
+		}
+		want := history[epoch]
+		if len(s.held) != len(want) {
+			return false
+		}
+		for k2 := range want {
+			if !s.held[k2] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All model components (network switches, cache controllers, processors,
+// the SafetyNet checkpoint service) schedule closures on a single Kernel.
+// Events at the same timestamp fire in schedule order, so a run with a
+// fixed seed is bit-for-bit reproducible — a property the reproduction
+// methodology depends on (paper §5.2 runs each design point several times
+// under controlled pseudo-random perturbation).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in processor clock cycles.
+type Time uint64
+
+// Forever is a time later than any reachable simulation instant.
+const Forever = Time(1<<63 - 1)
+
+// Event is a scheduled closure. Events are ordered by (When, seq) where
+// seq is the scheduling order, giving deterministic FIFO tie-breaking.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulator. The zero value is ready to use.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Executed counts events dispatched since construction.
+	Executed uint64
+	// free recycles event structs to reduce allocation pressure in long
+	// runs; the heap can hold hundreds of thousands of pending events.
+	free []*event
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free = k.free[:n-1]
+		ev.when, ev.seq, ev.fn = t, k.seq, fn
+	} else {
+		ev = &event{when: t, seq: k.seq, fn: fn}
+	}
+	k.seq++
+	heap.Push(&k.events, ev)
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Step fires the next event, advancing time to it. It reports whether an
+// event was available.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.events).(*event)
+	k.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	if len(k.free) < 1024 {
+		k.free = append(k.free, ev)
+	}
+	k.Executed++
+	fn()
+	return true
+}
+
+// Run fires events until no events remain or simulated time would exceed
+// until. Events scheduled exactly at until still fire. It returns the
+// number of events executed by this call.
+func (k *Kernel) Run(until Time) uint64 {
+	start := k.Executed
+	for len(k.events) > 0 && k.events[0].when <= until {
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return k.Executed - start
+}
+
+// Drain fires all remaining events regardless of time. Useful in tests
+// that must reach quiescence. maxEvents bounds runaway schedules; Drain
+// returns false if the bound was hit with events still pending.
+func (k *Kernel) Drain(maxEvents uint64) bool {
+	for i := uint64(0); i < maxEvents; i++ {
+		if !k.Step() {
+			return true
+		}
+	}
+	return len(k.events) == 0
+}

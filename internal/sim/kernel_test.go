@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelZeroValue(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 {
+		t.Fatalf("new kernel at time %d, want 0", k.Now())
+	}
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(10, func() { got = append(got, 2) })
+	k.At(5, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 3) })
+	k.Run(Forever)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != Forever {
+		t.Fatalf("Run(Forever) left now=%d", k.Now())
+	}
+}
+
+func TestKernelFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(7, func() { got = append(got, i) })
+	}
+	k.Run(7)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of schedule order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestKernelAfterAndNow(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.At(100, func() {
+		k.After(50, func() { at = k.Now() })
+	})
+	k.Run(Forever)
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestKernelPastSchedulePanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {})
+	k.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestKernelRunBoundary(t *testing.T) {
+	k := NewKernel()
+	fired := map[Time]bool{}
+	k.At(10, func() { fired[10] = true })
+	k.At(11, func() { fired[11] = true })
+	n := k.Run(10)
+	if n != 1 || !fired[10] || fired[11] {
+		t.Fatalf("Run(10) fired=%v n=%d; want only t=10", fired, n)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("now=%d want 10", k.Now())
+	}
+	k.Run(11)
+	if !fired[11] {
+		t.Fatal("event at 11 never fired")
+	}
+}
+
+func TestKernelDrainBound(t *testing.T) {
+	k := NewKernel()
+	// A self-rescheduling event never quiesces; Drain must report that.
+	var loop func()
+	loop = func() { k.After(1, loop) }
+	k.At(0, loop)
+	if k.Drain(1000) {
+		t.Fatal("Drain claimed quiescence of an infinite schedule")
+	}
+}
+
+func TestKernelCascade(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			k.After(3, step)
+		}
+	}
+	k.At(0, step)
+	k.Run(Forever)
+	if count != 1000 {
+		t.Fatalf("cascade ran %d steps, want 1000", count)
+	}
+	if k.Executed != 1000 {
+		t.Fatalf("Executed=%d want 1000", k.Executed)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced identical next value (suspicious)")
+	}
+}
+
+func TestRNGSnapshotRestore(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	snap := r.Snapshot()
+	var first [32]uint64
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Restore(snap)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(3)
+	const n = 20000
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(10)
+	}
+	mean := float64(sum) / n
+	if mean < 8.5 || mean > 11.5 {
+		t.Fatalf("Geometric(10) sample mean %v, want ~10", mean)
+	}
+}
+
+// Property: for any batch of events scheduled at arbitrary times, the
+// kernel dispatches them in non-decreasing time order.
+func TestKernelMonotonicProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, tt := range times {
+			tt := Time(tt)
+			k.At(tt, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run(Forever)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: uniformity of Intn is roughly preserved across seeds.
+func TestRNGIntnUniformProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		buckets := make([]int, 8)
+		const n = 8000
+		for i := 0; i < n; i++ {
+			buckets[r.Intn(8)]++
+		}
+		for _, b := range buckets {
+			if b < n/8-n/16 || b > n/8+n/16 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := NewKernel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(Time(i%64), func() {})
+		k.Step()
+	}
+}

@@ -1,0 +1,116 @@
+package snoop
+
+import (
+	"fmt"
+
+	"specsimp/internal/cache"
+	"specsimp/internal/coherence"
+)
+
+// BlockVersion returns the globally current version of a block at a
+// quiescent point: the owner's copy if one exists, else memory's.
+func (p *Protocol) BlockVersion(a coherence.Addr) uint64 {
+	a = coherence.BlockAddr(a)
+	for _, c := range p.caches {
+		if l := c.l2.Peek(a); l != nil {
+			s := SState(l.State)
+			if s == SM || s == SO {
+				return l.Version
+			}
+		}
+	}
+	return p.mems[p.Home(a)].store.Read(a)
+}
+
+// CacheState returns the controller-visible state of a block at a node.
+func (p *Protocol) CacheState(node coherence.NodeID, a coherence.Addr) SState {
+	c := p.caches[node]
+	a = coherence.BlockAddr(a)
+	if c.req != nil && c.req.addr == a {
+		return c.req.state
+	}
+	if c.wb != nil && c.wb.addr == a {
+		return c.wb.state
+	}
+	if l := c.l2.Peek(a); l != nil {
+		return SState(l.State)
+	}
+	return SI
+}
+
+// MemVersion returns memory's copy of the block at its home node.
+func (p *Protocol) MemVersion(a coherence.Addr) uint64 {
+	a = coherence.BlockAddr(a)
+	return p.mems[p.Home(a)].store.Read(a)
+}
+
+// AuditInvariants verifies coherence invariants at a quiescent point:
+// single writer, equal versions across copies, memory currency when
+// unowned, and agreement between the memory controller's owner tracking
+// and actual cache contents.
+func (p *Protocol) AuditInvariants() error {
+	if n := p.InFlight(); n != 0 {
+		return fmt.Errorf("audit requires quiescence; %d transactions in flight", n)
+	}
+	type copyInfo struct {
+		node    int
+		state   SState
+		version uint64
+	}
+	copies := make(map[coherence.Addr][]copyInfo)
+	for i, c := range p.caches {
+		i := i
+		c.l2.ForEach(func(l *cache.Line) {
+			copies[l.Addr] = append(copies[l.Addr], copyInfo{i, SState(l.State), l.Version})
+		})
+	}
+	addrs := make(map[coherence.Addr]bool)
+	for _, m := range p.mems {
+		for a := range m.owner {
+			addrs[a] = true
+		}
+	}
+	for a := range copies {
+		addrs[a] = true
+	}
+	for a := range addrs {
+		home := p.mems[p.Home(a)]
+		cs := copies[a]
+		owners := 0
+		ownerNode := -1
+		var version uint64
+		versionSet := false
+		for _, ci := range cs {
+			switch ci.state {
+			case SM, SO:
+				owners++
+				ownerNode = ci.node
+			case SS:
+			default:
+				return fmt.Errorf("block %#x: transient %s in array of node %d", uint64(a), ci.state, ci.node)
+			}
+			if versionSet && ci.version != version {
+				return fmt.Errorf("block %#x: version divergence (%d vs %d)", uint64(a), ci.version, version)
+			}
+			version, versionSet = ci.version, true
+		}
+		if owners > 1 {
+			return fmt.Errorf("block %#x: %d owners", uint64(a), owners)
+		}
+		tracked := home.ownerOf(a)
+		if owners == 1 && tracked != ownerNode {
+			return fmt.Errorf("block %#x: memory tracks owner %d but node %d owns", uint64(a), tracked, ownerNode)
+		}
+		if owners == 0 && tracked != -1 {
+			return fmt.Errorf("block %#x: memory tracks owner %d but no cache owns", uint64(a), tracked)
+		}
+		memV := home.store.Read(a)
+		if versionSet && memV > version {
+			return fmt.Errorf("block %#x: memory %d newer than caches %d", uint64(a), memV, version)
+		}
+		if owners == 0 && versionSet && memV != version {
+			return fmt.Errorf("block %#x: unowned but memory %d != cached %d", uint64(a), memV, version)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package snoop implements the paper §3.2 broadcast snooping MOSI cache
+// coherence protocol in two variants:
+//
+//   - Full: specifies the rare corner case — a cache that has issued a
+//     Writeback observes a foreign RequestReadWrite (transferring
+//     ownership away) and then, still before its own Writeback is
+//     ordered, observes a second foreign RequestReadWrite.
+//   - Spec: leaves that transition unspecified and treats observing it
+//     as a mis-speculation, exactly as the paper proposes ("instead of
+//     forcing the designers to re-work the protocol and re-verify it").
+//
+// Requests travel on a totally ordered address network (the Bus below);
+// data travels on an unordered point-to-point network. Ownership binds
+// at request order time, which is also the protocol's logical time base:
+// SafetyNet checkpoints the snooping system every N ordered requests
+// (paper Table 2: 3,000 requests).
+package snoop
+
+import (
+	"specsimp/internal/coherence"
+	"specsimp/internal/sim"
+	"specsimp/internal/stats"
+)
+
+// BusConfig parameterizes the ordered address network.
+type BusConfig struct {
+	Nodes int
+	// ArbInterval is the minimum spacing between ordered requests (the
+	// address network's throughput limit).
+	ArbInterval sim.Time
+	// DeliverLatency is the delay from ordering to every node (and the
+	// memory controller) observing the request.
+	DeliverLatency sim.Time
+}
+
+// DefaultBusConfig spaces requests 5 cycles apart and delivers in 25.
+func DefaultBusConfig(nodes int) BusConfig {
+	return BusConfig{Nodes: nodes, ArbInterval: 5, DeliverLatency: 25}
+}
+
+// BusObserver receives every ordered request, in the same global order
+// at every node.
+type BusObserver interface {
+	OnOrdered(seq uint64, msg coherence.Msg)
+}
+
+// Bus is the totally ordered broadcast address network. Requests submit
+// to a central arbiter; each receives a global sequence number and is
+// observed by every attached observer in that order.
+type Bus struct {
+	k   *sim.Kernel
+	cfg BusConfig
+
+	observers []BusObserver
+	nextFree  sim.Time
+	seq       uint64
+	epoch     uint64
+
+	ordered stats.Counter
+
+	// OnOrder, if set, is called once per ordered request after all
+	// observers — the logical-time hook the snooping SafetyNet
+	// checkpoint cadence uses.
+	OnOrder func(seq uint64)
+}
+
+// NewBus builds an idle bus.
+func NewBus(k *sim.Kernel, cfg BusConfig) *Bus {
+	return &Bus{k: k, cfg: cfg}
+}
+
+// Attach registers an observer (cache or memory controller).
+func (b *Bus) Attach(o BusObserver) { b.observers = append(b.observers, o) }
+
+// Ordered returns the number of requests ordered so far.
+func (b *Bus) Ordered() uint64 { return b.ordered.Value() }
+
+// Submit queues a request for arbitration. The request is ordered at
+// the next free arbitration slot and observed by every node
+// DeliverLatency later.
+func (b *Bus) Submit(msg coherence.Msg) {
+	now := b.k.Now()
+	at := now
+	if b.nextFree > at {
+		at = b.nextFree
+	}
+	b.nextFree = at + b.cfg.ArbInterval
+	seq := b.seq
+	b.seq++
+	epoch := b.epoch
+	b.k.At(at+b.cfg.DeliverLatency, func() {
+		if b.epoch != epoch {
+			return // dropped by a recovery reset
+		}
+		b.ordered.Inc()
+		for _, o := range b.observers {
+			if b.epoch != epoch {
+				return // a recovery fired mid-broadcast; abort the event
+			}
+			o.OnOrdered(seq, msg)
+		}
+		if b.epoch != epoch {
+			return
+		}
+		if b.OnOrder != nil {
+			b.OnOrder(seq)
+		}
+	})
+}
+
+// Reset drops every submitted-but-undelivered request (a SafetyNet
+// recovery discards in-flight traffic).
+func (b *Bus) Reset() {
+	b.epoch++
+	if b.nextFree < b.k.Now() {
+		b.nextFree = b.k.Now()
+	}
+}

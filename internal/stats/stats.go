@@ -1,0 +1,268 @@
+// Package stats provides the measurement primitives the evaluation
+// harness uses: counters, samples with mean/stddev (the paper reports one
+// standard deviation as error bars, §5.2), histograms, and utilization
+// trackers for link-occupancy statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Sample accumulates observations and reports mean and standard
+// deviation using Welford's online algorithm, which is numerically
+// stable for long runs.
+type Sample struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() uint64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// with fewer than two observations.
+func (s *Sample) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Sum returns n*mean, the total of all observations.
+func (s *Sample) Sum() float64 { return float64(s.n) * s.mean }
+
+// String formats the sample as "mean ± stddev (n=N)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.StdDev(), s.n)
+}
+
+// Histogram counts observations in power-of-two buckets, suitable for
+// latency distributions spanning several orders of magnitude.
+type Histogram struct {
+	buckets [64]uint64
+	sample  Sample
+}
+
+// Observe records a non-negative observation.
+func (h *Histogram) Observe(v uint64) {
+	h.sample.Observe(float64(v))
+	h.buckets[log2Bucket(v)]++
+}
+
+func log2Bucket(v uint64) int {
+	b := 0
+	for v > 0 {
+		v >>= 1
+		b++
+	}
+	if b >= 64 {
+		b = 63
+	}
+	return b
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.sample.N() }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 { return h.sample.Mean() }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.sample.Max() }
+
+// Percentile returns an upper bound on the p-th percentile (p in [0,1]),
+// at power-of-two bucket resolution.
+func (h *Histogram) Percentile(p float64) uint64 {
+	total := h.sample.N()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return math.MaxUint64
+}
+
+// Utilization integrates a busy/idle signal over simulated time.
+type Utilization struct {
+	busySince uint64
+	busy      bool
+	busyTime  uint64
+	start     uint64
+}
+
+// SetBusy transitions the tracked resource at time now.
+func (u *Utilization) SetBusy(now uint64, busy bool) {
+	if u.busy && !busy {
+		u.busyTime += now - u.busySince
+	}
+	if !u.busy && busy {
+		u.busySince = now
+	}
+	u.busy = busy
+}
+
+// AddBusy directly credits d cycles of busy time (for resources modeled
+// as reservation windows rather than level signals).
+func (u *Utilization) AddBusy(d uint64) { u.busyTime += d }
+
+// Fraction returns the busy fraction over [start, now].
+func (u *Utilization) Fraction(now uint64) float64 {
+	b := u.busyTime
+	if u.busy && now > u.busySince {
+		b += now - u.busySince
+	}
+	dur := now - u.start
+	if dur == 0 {
+		return 0
+	}
+	f := float64(b) / float64(dur)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Table is a minimal fixed-width text table writer used by cmd/tables
+// and cmd/sweep to print paper-style rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range width {
+		b.WriteString(strings.Repeat("-", w))
+		if i != len(width)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Normalize divides each value by base, returning 0 where base is 0.
+// Used for "normalized performance" figures.
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}
+
+// Median returns the median of values (average of middle two for even n).
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

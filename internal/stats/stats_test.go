@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter=%d want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSampleMeanStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean=%v want 5", got)
+	}
+	// Sample (n-1) stddev of that classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev=%v want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max=%v/%v want 2/9", s.Min(), s.Max())
+	}
+	if math.Abs(s.Sum()-40) > 1e-9 {
+		t.Fatalf("sum=%v want 40", s.Sum())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample not zero")
+	}
+	s.Observe(3)
+	if s.Mean() != 3 || s.StdDev() != 0 {
+		t.Fatalf("single observation mean=%v stddev=%v", s.Mean(), s.StdDev())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N=%d", h.N())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 400 || p50 > 1100 {
+		t.Fatalf("p50=%d far from 500 at bucket resolution", p50)
+	}
+	p100 := h.Percentile(1.0)
+	if p100 < 1000 {
+		t.Fatalf("p100=%d below max", p100)
+	}
+	if h.Percentile(0) > 1 {
+		t.Fatalf("p0=%d", h.Percentile(0))
+	}
+}
+
+func TestHistogramZero(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram percentile != 0")
+	}
+	h.Observe(0)
+	if h.N() != 1 || h.Percentile(1) != 0 {
+		t.Fatal("zero observation mishandled")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	u.SetBusy(0, true)
+	u.SetBusy(30, false)
+	u.SetBusy(70, true)
+	u.SetBusy(100, false)
+	if got := u.Fraction(100); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("fraction=%v want 0.6", got)
+	}
+}
+
+func TestUtilizationOpenInterval(t *testing.T) {
+	var u Utilization
+	u.SetBusy(10, true)
+	if got := u.Fraction(20); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("open busy fraction=%v want 0.5", got)
+	}
+}
+
+func TestUtilizationAddBusyClamped(t *testing.T) {
+	var u Utilization
+	u.AddBusy(500)
+	if got := u.Fraction(100); got != 1 {
+		t.Fatalf("fraction should clamp to 1, got %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("workload", "perf")
+	tab.AddRow("oltp", "1.00")
+	tab.AddRow("jbb", "0.97")
+	out := tab.String()
+	if !strings.Contains(out, "workload") || !strings.Contains(out, "jbb") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 6}, 2)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("normalize=%v", out)
+	}
+	zero := Normalize([]float64{1}, 0)
+	if zero[0] != 0 {
+		t.Fatal("divide by zero base must yield 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median=%v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median=%v", got)
+	}
+}
+
+// Property: Welford mean matches naive mean for arbitrary inputs.
+func TestSampleMeanProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		var sum float64
+		finite := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Observe(x)
+			sum += x
+			finite++
+		}
+		if finite == 0 {
+			return s.Mean() == 0
+		}
+		naive := sum / float64(finite)
+		return math.Abs(s.Mean()-naive) <= 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram percentile is monotone in p.
+func TestHistogramMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(uint64(v))
+		}
+		prev := uint64(0)
+		for p := 0.1; p <= 1.0; p += 0.1 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

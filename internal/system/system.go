@@ -1,0 +1,519 @@
+// Package system assembles complete target machines: 16 nodes of
+// processor + two-level cache hierarchy + coherence protocol (directory
+// or snooping, full or speculatively simplified) + interconnect +
+// SafetyNet + the speculation-for-simplicity coordinator (paper §5.1).
+// It also implements the evaluation methodology: timed runs, checkpoint
+// orchestration, recovery injection (Figure 4), and multi-run
+// perturbation statistics (paper §5.2).
+package system
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"specsimp/internal/coherence"
+	"specsimp/internal/core"
+	"specsimp/internal/directory"
+	"specsimp/internal/network"
+	"specsimp/internal/processor"
+	"specsimp/internal/safetynet"
+	"specsimp/internal/sim"
+	"specsimp/internal/snoop"
+	"specsimp/internal/stats"
+	"specsimp/internal/workload"
+)
+
+// Kind selects the coherence protocol and its variant.
+type Kind uint8
+
+// System kinds.
+const (
+	// DirectoryFull is the complete directory protocol for unordered
+	// networks — the non-speculative baseline.
+	DirectoryFull Kind = iota
+	// DirectorySpec is the §3.1 speculatively simplified directory
+	// protocol relying on point-to-point ordering.
+	DirectorySpec
+	// SnoopFull is the complete snooping protocol.
+	SnoopFull
+	// SnoopSpec is the §3.2 snooping protocol with the corner case left
+	// to speculation.
+	SnoopSpec
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DirectoryFull:
+		return "directory-full"
+	case DirectorySpec:
+		return "directory-spec"
+	case SnoopFull:
+		return "snoop-full"
+	default:
+		return "snoop-spec"
+	}
+}
+
+// IsDirectory reports whether the kind uses the directory protocol.
+func (k Kind) IsDirectory() bool { return k == DirectoryFull || k == DirectorySpec }
+
+// Config describes one experimental system (paper Table 2 defaults via
+// DefaultConfig).
+type Config struct {
+	Kind  Kind
+	Nodes int
+
+	Net network.Config
+	Bus snoop.BusConfig // snooping address network
+
+	Workload workload.Profile
+	Seed     uint64
+
+	// CheckpointInterval is SafetyNet's cadence: cycles for the
+	// directory system (Table 2: 100,000), ordered requests for the
+	// snooping system (Table 2: 3,000) via SnoopCheckpointRequests.
+	CheckpointInterval      sim.Time
+	SnoopCheckpointRequests uint64
+
+	// TimeoutCycles arms the transaction-timeout watchdog (paper: three
+	// checkpoint intervals). 0 disables it.
+	TimeoutCycles sim.Time
+
+	// InjectRecoveryEvery periodically forces a recovery — the Figure 4
+	// stress methodology. 0 disables injection.
+	InjectRecoveryEvery sim.Time
+
+	// SlowStartWindow is how long the post-recovery outstanding limit
+	// (SlowStartLimit, default 1) lasts; AdaptiveDisableWindow is how
+	// long adaptive routing stays off after a recovery (0 = forever,
+	// the conservative knob).
+	SlowStartWindow       sim.Time
+	SlowStartLimit        int
+	AdaptiveDisableWindow sim.Time
+
+	// CyclesPerSecond maps wall-clock rates (recoveries/second) onto
+	// simulated cycles. The paper's machine runs at 4 GHz; experiments
+	// use a compressed clock, recorded in EXPERIMENTS.md.
+	CyclesPerSecond float64
+
+	// Cache geometry overrides (0 = paper Table 2 defaults). Small
+	// caches raise eviction/writeback pressure for the race-hunting
+	// experiments.
+	L1Bytes, L1Ways int
+	L2Bytes, L2Ways int
+
+	// ReorderInjectProb amplifies network reordering for fault-
+	// injection experiments: each ForwardedRequest-class message is
+	// held at its source for ReorderInjectDelay cycles with this
+	// probability, letting later messages overtake it. Natural
+	// reorderings are rare (the paper's premise), so end-to-end tests
+	// of the detect/recover/forward-progress path use this knob.
+	ReorderInjectProb  float64
+	ReorderInjectDelay sim.Time
+}
+
+// DefaultConfig returns the paper's Table 2 system for the given kind
+// and workload: 16 nodes on a 4x4 torus.
+func DefaultConfig(kind Kind, wl workload.Profile) Config {
+	cfg := Config{
+		Kind:                    kind,
+		Nodes:                   16,
+		Workload:                wl,
+		Seed:                    1,
+		CheckpointInterval:      100_000,
+		SnoopCheckpointRequests: 3_000,
+		SlowStartWindow:         200_000,
+		AdaptiveDisableWindow:   0, // conservative: never re-enable
+		CyclesPerSecond:         4e9,
+	}
+	switch kind {
+	case DirectoryFull:
+		// The full protocol tolerates reordering: pair it with the
+		// adaptive network by default.
+		cfg.Net = network.AdaptiveConfig(4, 4, 0.8)
+	case DirectorySpec:
+		cfg.Net = network.AdaptiveConfig(4, 4, 0.8)
+		cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
+	default:
+		// Snooping: the data network is an ordered-agnostic torus.
+		cfg.Net = network.SafeStaticConfig(4, 4, 0.8)
+		cfg.Bus = snoop.DefaultBusConfig(16)
+	}
+	return cfg
+}
+
+// System is a built machine bound to a kernel.
+type System struct {
+	Cfg   Config
+	K     *sim.Kernel
+	Net   *network.Network
+	Dir   *directory.Protocol // nil for snooping systems
+	Snoop *snoop.Protocol     // nil for directory systems
+	Bus   *snoop.Bus          // nil for directory systems
+	Pool  *processor.Pool
+	Mgr   *safetynet.Manager
+	Coord *core.Coordinator
+
+	checkpointing   bool
+	checkpointGen   uint64
+	startedAt       sim.Time
+	checkpointStall stats.Counter
+}
+
+// Build constructs the system. It panics on invalid configuration.
+func Build(cfg Config) *System {
+	if cfg.Nodes != cfg.Net.NumNodes() {
+		panic(fmt.Sprintf("system: %d nodes vs %d network endpoints", cfg.Nodes, cfg.Net.NumNodes()))
+	}
+	k := sim.NewKernel()
+	net := network.New(k, cfg.Net)
+	if cfg.ReorderInjectProb > 0 {
+		rng := sim.NewRNG(cfg.Seed ^ 0xfa17)
+		delay := cfg.ReorderInjectDelay
+		if delay == 0 {
+			delay = 2_000
+		}
+		net.PerturbFn = func(m *network.Message) sim.Time {
+			if m.VNet == coherence.VNetForward && rng.Bool(cfg.ReorderInjectProb) {
+				return delay
+			}
+			return 0
+		}
+	}
+	sn := safetynet.DefaultConfig(cfg.Nodes, cfg.CheckpointInterval)
+	mgr := safetynet.NewManager(k, sn)
+	coord := core.NewCoordinator(k, mgr)
+
+	s := &System{Cfg: cfg, K: k, Net: net, Mgr: mgr, Coord: coord}
+
+	var access processor.AccessFunc
+	switch {
+	case cfg.Kind.IsDirectory():
+		v := directory.Full
+		if cfg.Kind == DirectorySpec {
+			v = directory.Spec
+		}
+		dcfg := directory.DefaultConfig(cfg.Nodes, v)
+		dcfg.TimeoutCycles = cfg.TimeoutCycles
+		overrideCaches(&dcfg.L1Bytes, &dcfg.L1Ways, &dcfg.L2Bytes, &dcfg.L2Ways, cfg)
+		s.Dir = directory.New(k, net, dcfg, mgr)
+		s.Dir.OnMisSpeculation = func(reason string) { coord.TriggerMisSpeculation(reason) }
+		access = s.Dir.Access
+	default:
+		v := snoop.Full
+		if cfg.Kind == SnoopSpec {
+			v = snoop.Spec
+		}
+		scfg := snoop.DefaultConfig(cfg.Nodes, v)
+		scfg.TimeoutCycles = cfg.TimeoutCycles
+		overrideCaches(&scfg.L1Bytes, &scfg.L1Ways, &scfg.L2Bytes, &scfg.L2Ways, cfg)
+		s.Bus = snoop.NewBus(k, cfg.Bus)
+		s.Snoop = snoop.New(k, s.Bus, net, scfg, mgr)
+		s.Snoop.OnMisSpeculation = func(reason string) { coord.TriggerMisSpeculation(reason) }
+		access = s.Snoop.Access
+	}
+
+	gens := make([]workload.Generator, cfg.Nodes)
+	for i := range gens {
+		gens[i] = workload.New(cfg.Workload, i, cfg.Nodes, cfg.Seed)
+	}
+	s.Pool = processor.NewPool(k, cfg.Nodes, access, gens)
+
+	// Recovery wiring (framework features 3 and 4).
+	coord.ResetFn = func() {
+		net.Reset()
+		if s.Dir != nil {
+			s.Dir.ResetTransients()
+		}
+		if s.Snoop != nil {
+			s.Snoop.ResetTransients()
+			s.Bus.Reset()
+		}
+	}
+	coord.RestoreFn = func(snapshot interface{}) {
+		s.Pool.RestoreAll(snapshot.([]processor.Snapshot))
+	}
+	coord.ResumeFn = func(at sim.Time) { s.Pool.Resume(at) }
+	if cfg.Net.Routing == network.Adaptive {
+		coord.AddPolicy(&core.DisableAdaptiveRouting{K: k, Net: net, ReenableAfter: cfg.AdaptiveDisableWindow})
+	}
+	ssLimit := cfg.SlowStartLimit
+	if ssLimit <= 0 {
+		ssLimit = 1
+	}
+	coord.AddPolicy(&core.SlowStart{K: k, Limiter: s.Pool, Limit: ssLimit, Normal: 0, Window: cfg.SlowStartWindow})
+	coord.PolicyExempt = func(reason string) bool { return reason == "injected" }
+	return s
+}
+
+// Start takes the initial checkpoint, starts the processors, the
+// checkpoint cadence, the watchdog, and (if configured) the recovery
+// injector. Call once.
+func (s *System) Start() {
+	s.startedAt = s.K.Now()
+	s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+	s.Pool.Start()
+
+	if s.Cfg.Kind.IsDirectory() {
+		s.K.After(s.Cfg.CheckpointInterval, func() { s.attemptCheckpoint() })
+		if s.Cfg.TimeoutCycles > 0 {
+			s.Dir.StartWatchdog(s.Cfg.CheckpointInterval / 4)
+		}
+	} else {
+		every := s.Cfg.SnoopCheckpointRequests
+		if every == 0 {
+			every = 3000
+		}
+		s.Bus.OnOrder = func(seq uint64) {
+			if seq > 0 && seq%every == 0 {
+				s.attemptCheckpoint()
+			}
+		}
+		if s.Cfg.TimeoutCycles > 0 {
+			s.Snoop.StartWatchdog(s.Cfg.CheckpointInterval / 4)
+		}
+	}
+
+	if d := s.Cfg.InjectRecoveryEvery; d > 0 {
+		var inject func()
+		inject = func() {
+			s.Coord.TriggerMisSpeculation("injected")
+			s.K.After(d, inject)
+		}
+		s.K.After(d, inject)
+	}
+}
+
+// attemptCheckpoint drains in-flight transactions and takes a SafetyNet
+// checkpoint (a consistent cut by construction — see safetynet package
+// comment), then schedules the next one.
+func (s *System) attemptCheckpoint() {
+	if s.checkpointing {
+		return
+	}
+	s.checkpointing = true
+	s.checkpointGen++
+	began := s.K.Now()
+	var poll func()
+	poll = func() {
+		if s.Coord.InRecovery() {
+			s.K.At(s.Coord.ResumeAt()+1, poll)
+			return
+		}
+		s.Pool.Pause()
+		if s.inFlight() == 0 {
+			s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+			s.checkpointStall.Add(uint64(s.K.Now() - began))
+			lat := s.Mgr.Config().RegCkptLatency
+			s.Pool.Resume(s.K.Now() + lat)
+			s.checkpointing = false
+			if s.Cfg.Kind.IsDirectory() {
+				s.K.After(s.Cfg.CheckpointInterval, func() { s.attemptCheckpoint() })
+			}
+			return
+		}
+		s.K.After(20, poll)
+	}
+	poll()
+}
+
+func (s *System) inFlight() int {
+	n := s.Net.InFlight()
+	if s.Dir != nil {
+		n += s.Dir.InFlight()
+	}
+	if s.Snoop != nil {
+		n += s.Snoop.InFlight()
+	}
+	return n
+}
+
+// Run executes the system for the given number of cycles (after Start)
+// and returns the results.
+func (s *System) Run(cycles sim.Time) Results {
+	s.K.Run(s.K.Now() + cycles)
+	return s.Results()
+}
+
+// Results summarizes a run.
+type Results struct {
+	Kind         Kind
+	Workload     string
+	Cycles       uint64
+	Instructions uint64
+	// Perf is aggregate instructions per cycle — the normalized
+	// performance metric of Figures 4 and 5.
+	Perf float64
+
+	Recoveries      uint64
+	RecoveryReasons map[string]uint64
+	Checkpoints     uint64
+	CheckpointStall uint64
+	MeanLostWork    float64
+
+	ReorderRatePerVNet []float64
+	TotalReorderRate   float64
+	Deflections        uint64
+	MeanLinkUtil       float64
+	MissLatencyMean    float64
+	Transactions       uint64
+	Writebacks         uint64
+	WBRaces            uint64
+	OrderViolations    uint64
+	CornerDetected     uint64
+	CornerHandled      uint64
+	Timeouts           uint64
+	LimitStalls        uint64
+	LogHighWaterBytes  int
+}
+
+// Results snapshots the current measurements.
+func (s *System) Results() Results {
+	now := s.K.Now()
+	elapsed := uint64(now - s.startedAt)
+	instr := s.Pool.Instructions()
+	r := Results{
+		Kind:             s.Cfg.Kind,
+		Workload:         s.Cfg.Workload.Name,
+		Cycles:           elapsed,
+		Instructions:     instr,
+		Recoveries:       s.Coord.Recoveries(),
+		RecoveryReasons:  map[string]uint64{},
+		Checkpoints:      s.Mgr.Checkpoints(),
+		CheckpointStall:  s.checkpointStall.Value(),
+		MeanLostWork:     s.Coord.MeanLostWork(),
+		MeanLinkUtil:     s.Net.Stats().MeanLinkUtilization(now),
+		TotalReorderRate: s.Net.Stats().TotalReorderRate(),
+		Deflections:      s.Net.Stats().Deflections.Value(),
+		LimitStalls:      s.Pool.LimitStalls(),
+	}
+	if elapsed > 0 {
+		r.Perf = float64(instr) / float64(elapsed)
+	}
+	for _, reason := range s.Coord.Reasons() {
+		r.RecoveryReasons[reason] = s.Coord.RecoveriesFor(reason)
+	}
+	for v := 0; v < s.Cfg.Net.VNets; v++ {
+		r.ReorderRatePerVNet = append(r.ReorderRatePerVNet, s.Net.Stats().ReorderRate(v))
+	}
+	for i := 0; i < s.Cfg.Nodes; i++ {
+		if hw := s.Mgr.OccupancyHighWaterBytes(i); hw > r.LogHighWaterBytes {
+			r.LogHighWaterBytes = hw
+		}
+	}
+	if s.Dir != nil {
+		ds := s.Dir.Stats()
+		r.MissLatencyMean = ds.MissLatency.Mean()
+		r.Transactions = ds.Transactions.Value()
+		r.Writebacks = ds.Writebacks.Value()
+		r.WBRaces = ds.WBRaces.Value()
+		r.OrderViolations = ds.OrderViolations.Value()
+		r.Timeouts = ds.TimeoutsDetected.Value()
+	}
+	if s.Snoop != nil {
+		ss := s.Snoop.Stats()
+		r.MissLatencyMean = ss.MissLatency.Mean()
+		r.Transactions = ss.Transactions.Value()
+		r.Writebacks = ss.Writebacks.Value()
+		r.CornerDetected = ss.CornerDetected.Value()
+		r.CornerHandled = ss.CornerHandled.Value()
+		r.Timeouts = ss.TimeoutsDetected.Value()
+	}
+	return r
+}
+
+// RunOne builds, starts and runs a system for the given cycles.
+func RunOne(cfg Config, cycles sim.Time) Results {
+	s := Build(cfg)
+	s.Start()
+	return s.Run(cycles)
+}
+
+// PerturbedResult aggregates several perturbed runs of one design point
+// (the paper §5.2 methodology: "we simulate each design point multiple
+// times with small, pseudo-random perturbations ... error bars represent
+// one standard deviation").
+type PerturbedResult struct {
+	Perf       stats.Sample
+	Recoveries stats.Sample
+	Runs       []Results
+}
+
+// RunPerturbed executes n runs that differ only in seed, in parallel
+// (each run owns its kernel; determinism is per-run).
+func RunPerturbed(cfg Config, n int, cycles sim.Time) PerturbedResult {
+	results := make([]Results, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + uint64(i)*7919
+			results[i] = RunOne(c, cycles)
+		}()
+	}
+	wg.Wait()
+	var out PerturbedResult
+	out.Runs = results
+	for _, r := range results {
+		out.Perf.Observe(r.Perf)
+		out.Recoveries.Observe(float64(r.Recoveries))
+	}
+	return out
+}
+
+func overrideCaches(l1b, l1w, l2b, l2w *int, cfg Config) {
+	if cfg.L1Bytes > 0 {
+		*l1b = cfg.L1Bytes
+	}
+	if cfg.L1Ways > 0 {
+		*l1w = cfg.L1Ways
+	}
+	if cfg.L2Bytes > 0 {
+		*l2b = cfg.L2Bytes
+	}
+	if cfg.L2Ways > 0 {
+		*l2w = cfg.L2Ways
+	}
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Table2 renders the target system parameters (paper Table 2).
+func Table2(cfg Config) string {
+	t := stats.NewTable("Parameter", "Value")
+	t.AddRow("Nodes", fmt.Sprintf("%d (one processor, two cache levels, memory+directory slice, NI each)", cfg.Nodes))
+	t.AddRow("L1 Cache (I and D)", "128 KB, 4-way set associative")
+	t.AddRow("L2 Cache", "4 MB, 4-way set-associative")
+	t.AddRow("Memory", "2 GB total, 64-byte blocks (modeled as versioned blocks)")
+	t.AddRow("Miss From Memory", "~180 ns uncontended 2-hop (120-cycle DRAM + network)")
+	t.AddRow("Interconnect", fmt.Sprintf("%dx%d torus, %s routing, %.2f B/cycle links",
+		cfg.Net.Width, cfg.Net.Height, cfg.Net.Routing, cfg.Net.LinkBandwidth))
+	t.AddRow("Checkpoint Log Buffer", "512 KB/node, 72-byte entries")
+	t.AddRow("Checkpoint Interval", fmt.Sprintf("%d cycles (directory), %d requests (snooping)",
+		cfg.CheckpointInterval, cfg.SnoopCheckpointRequests))
+	t.AddRow("Register Checkpoint Latency", "100 cycles")
+	return t.String()
+}
+
+// simplifiedNet and deflectionNet are small helpers for tests and
+// examples that need the §4 network shapes at the standard geometry.
+func simplifiedNet(bufSize int) network.Config {
+	return network.SimplifiedConfig(4, 4, 0.2, bufSize)
+}
+
+func deflectionNet() network.Config {
+	return network.DeflectionConfig(4, 4, 0.2)
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specsimp/internal/coherence"
+)
+
+func TestSuiteProfilesValid(t *testing.T) {
+	for _, p := range Suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if len(Suite) != 5 {
+		t.Fatalf("suite has %d workloads, want the paper's 5", len(Suite))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"oltp", "jbb", "apache", "slashcode", "barnes", "uniform", "hotspot"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("profile %q missing", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(OLTP, 3, 16, 42)
+	b := New(OLTP, 3, 16, 42)
+	for i := 0; i < 5000; i++ {
+		if a.Peek() != b.Peek() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+		a.Advance()
+		b.Advance()
+	}
+	c := New(OLTP, 4, 16, 42) // different node: different stream
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Peek() == c.Peek() {
+			same++
+		}
+		a.Advance()
+		c.Advance()
+	}
+	if same == 100 {
+		t.Fatal("different nodes produced identical streams")
+	}
+}
+
+func TestSnapshotRestoreReplaysExactly(t *testing.T) {
+	g := New(Apache, 0, 16, 7)
+	for i := 0; i < 137; i++ {
+		g.Advance()
+	}
+	snap := g.Snapshot()
+	var ops []Op
+	for i := 0; i < 500; i++ {
+		ops = append(ops, g.Peek())
+		g.Advance()
+	}
+	g.Restore(snap)
+	for i, want := range ops {
+		if got := g.Peek(); got != want {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, got, want)
+		}
+		g.Advance()
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	p := JBB
+	seen := map[int]map[coherence.Addr]bool{}
+	sharedTop := coherence.Addr(p.SharedBlocks * coherence.BlockBytes)
+	for node := 0; node < 4; node++ {
+		g := New(p, node, 4, 1)
+		seen[node] = map[coherence.Addr]bool{}
+		for i := 0; i < 3000; i++ {
+			op := g.Peek()
+			if op.Addr >= sharedTop {
+				seen[node][op.Addr] = true
+			}
+			g.Advance()
+		}
+	}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			for addr := range seen[a] {
+				if seen[b][addr] {
+					t.Fatalf("private address %#x appears at nodes %d and %d", uint64(addr), a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestStoreFractionRoughlyMatches(t *testing.T) {
+	g := New(Uniform, 0, 16, 3)
+	stores := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Peek().Kind == coherence.Store {
+			stores++
+		}
+		g.Advance()
+	}
+	frac := float64(stores) / n
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("store fraction %.3f, expected ~0.5", frac)
+	}
+}
+
+func TestMigratoryPairsAreLoadThenStore(t *testing.T) {
+	g := New(Hotspot, 0, 16, 9).(*gen)
+	pairs := 0
+	for i := 0; i < 20000 && pairs < 50; i++ {
+		op := g.Peek()
+		if op.Kind == coherence.Load && g.migrLeft == 1 {
+			addr := op.Addr
+			g.Advance()
+			next := g.Peek()
+			if next.Kind != coherence.Store || next.Addr != addr {
+				t.Fatalf("migratory pair broken: %+v then %+v", op, next)
+			}
+			pairs++
+			continue
+		}
+		g.Advance()
+	}
+	if pairs == 0 {
+		t.Fatal("no migratory pairs observed in hotspot profile")
+	}
+}
+
+func TestMeanThinkApproximatesProfile(t *testing.T) {
+	p := Uniform // no bursts: think is purely geometric
+	g := New(p, 0, 16, 11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Peek().Think)
+		g.Advance()
+	}
+	mean := sum / n
+	if mean < p.MeanThink*0.85 || mean > p.MeanThink*1.15 {
+		t.Fatalf("mean think %.2f, profile says %.1f", mean, p.MeanThink)
+	}
+}
+
+// Property: snapshot/restore is exact for arbitrary prefix lengths.
+func TestSnapshotProperty(t *testing.T) {
+	f := func(prefix uint16, seed uint64) bool {
+		g := New(Slash, 1, 16, seed)
+		for i := 0; i < int(prefix%2000); i++ {
+			g.Advance()
+		}
+		snap := g.Snapshot()
+		first := make([]Op, 50)
+		for i := range first {
+			first[i] = g.Peek()
+			g.Advance()
+		}
+		g.Restore(snap)
+		for i := range first {
+			if g.Peek() != first[i] {
+				return false
+			}
+			g.Advance()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generated address is block-aligned and within the
+// profile's address space.
+func TestAddressBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := OLTP
+		g := New(p, 2, 16, seed)
+		limit := coherence.Addr((p.SharedBlocks + 16*p.PrivateBlocks) * coherence.BlockBytes)
+		for i := 0; i < 2000; i++ {
+			op := g.Peek()
+			if op.Addr%coherence.BlockBytes != 0 || op.Addr >= limit {
+				return false
+			}
+			g.Advance()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package specsimp is a from-scratch reproduction of
+//
+//	Sorin, Martin, Hill & Wood,
+//	"Using Speculation to Simplify Multiprocessor Design", IPDPS 2004.
+//
+// It provides the paper's speculation-for-simplicity framework
+// (detect / recover / guarantee forward progress), complete simulated
+// substrates — a 2D-torus interconnect with static and adaptive routing,
+// MOSI directory and broadcast-snooping cache coherence protocols in
+// both "full" and "speculatively simplified" variants, a SafetyNet-style
+// global checkpoint/recovery service, blocking processors, and synthetic
+// commercial workloads — plus the full evaluation harness regenerating
+// every table and figure of the paper (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	cfg := specsimp.DefaultConfig(specsimp.DirectorySpec, specsimp.OLTP)
+//	res := specsimp.RunOne(cfg, 1_000_000)
+//	fmt.Printf("perf=%.3f recoveries=%d\n", res.Perf, res.Recoveries)
+//
+// The root package is a facade over the implementation packages; see
+// DESIGN.md for the system inventory and the per-experiment index.
+package specsimp
+
+import (
+	"specsimp/internal/core"
+	"specsimp/internal/experiments"
+	"specsimp/internal/network"
+	"specsimp/internal/sim"
+	"specsimp/internal/system"
+	"specsimp/internal/workload"
+)
+
+// Time is simulated time in processor cycles.
+type Time = sim.Time
+
+// Kernel is the deterministic discrete-event simulation kernel.
+type Kernel = sim.Kernel
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel { return sim.NewKernel() }
+
+// ---- systems ----
+
+// Config describes one simulated machine (paper Table 2 defaults via
+// DefaultConfig).
+type Config = system.Config
+
+// Results summarizes a run.
+type Results = system.Results
+
+// System is a built machine bound to a kernel.
+type System = system.System
+
+// Kind selects the coherence protocol and variant.
+type Kind = system.Kind
+
+// System kinds: directory or snooping protocol, full or speculatively
+// simplified variant.
+const (
+	DirectoryFull = system.DirectoryFull
+	DirectorySpec = system.DirectorySpec
+	SnoopFull     = system.SnoopFull
+	SnoopSpec     = system.SnoopSpec
+)
+
+// DefaultConfig returns the paper's Table 2 target system.
+func DefaultConfig(kind Kind, wl Workload) Config { return system.DefaultConfig(kind, wl) }
+
+// Build constructs a system from a config.
+func Build(cfg Config) *System { return system.Build(cfg) }
+
+// RunOne builds, starts, and runs a system for the given cycles.
+func RunOne(cfg Config, cycles Time) Results { return system.RunOne(cfg, cycles) }
+
+// PerturbedResult aggregates perturbed runs (paper §5.2 methodology).
+type PerturbedResult = system.PerturbedResult
+
+// RunPerturbed executes n seed-perturbed runs in parallel.
+func RunPerturbed(cfg Config, n int, cycles Time) PerturbedResult {
+	return system.RunPerturbed(cfg, n, cycles)
+}
+
+// ---- workloads (paper Table 3) ----
+
+// Workload parameterizes a synthetic reference stream.
+type Workload = workload.Profile
+
+// The evaluation workloads (paper Table 3) and two calibration
+// profiles.
+var (
+	OLTP    = workload.OLTP
+	JBB     = workload.JBB
+	Apache  = workload.Apache
+	Slash   = workload.Slash
+	Barnes  = workload.Barnes
+	Uniform = workload.Uniform
+	Hotspot = workload.Hotspot
+)
+
+// WorkloadSuite is the paper's five evaluation workloads.
+func WorkloadSuite() []Workload { return append([]Workload(nil), workload.Suite...) }
+
+// WorkloadByName resolves a workload by its name.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// ---- interconnect ----
+
+// NetConfig describes an interconnect instance.
+type NetConfig = network.Config
+
+// Network is the 2D torus interconnect.
+type Network = network.Network
+
+// NetMessage is a network-level message.
+type NetMessage = network.Message
+
+// Routing policies.
+const (
+	Static   = network.Static
+	Adaptive = network.Adaptive
+)
+
+// SafeStaticConfig is the provably deadlock-free baseline network
+// (dimension-order routing, virtual networks, dateline virtual
+// channels).
+func SafeStaticConfig(w, h int, bw float64) NetConfig { return network.SafeStaticConfig(w, h, bw) }
+
+// AdaptiveNetConfig is the paper §3.1 adaptively routed network with
+// full buffering; it does not preserve point-to-point ordering.
+func AdaptiveNetConfig(w, h int, bw float64) NetConfig { return network.AdaptiveConfig(w, h, bw) }
+
+// SimplifiedNetConfig is the paper §4 network: no virtual networks or
+// channels, one shared finite buffer pool per switch; deadlock is
+// possible and recovered from rather than avoided.
+func SimplifiedNetConfig(w, h int, bw float64, bufSize int) NetConfig {
+	return network.SimplifiedConfig(w, h, bw, bufSize)
+}
+
+// DeflectionNetConfig is the §4 alternative the paper mentions:
+// hot-potato routing, which trades buffer-cycle deadlock for potential
+// livelock (detected by the same transaction timeout, footnote 3).
+func DeflectionNetConfig(w, h int, bw float64) NetConfig {
+	return network.DeflectionConfig(w, h, bw)
+}
+
+// NewNetwork builds a standalone network on a kernel (for
+// network-level studies; systems build their own).
+func NewNetwork(k *Kernel, cfg NetConfig) *Network { return network.New(k, cfg) }
+
+// ---- the speculation framework (the paper's contribution) ----
+
+// Speculation describes one application of speculation for simplicity.
+type Speculation = core.Speculation
+
+// Characterization is one row of the paper's Table 1.
+type Characterization = core.Characterization
+
+// The paper's three applications of speculation for simplicity.
+var (
+	P2POrdering  = core.P2POrdering
+	SnoopCorner  = core.SnoopCorner
+	NoVCDeadlock = core.NoVCDeadlock
+)
+
+// Table1 renders the framework characterization (paper Table 1).
+func Table1() string { return core.Table1(P2POrdering, SnoopCorner, NoVCDeadlock) }
+
+// Table2 renders the target system parameters (paper Table 2).
+func Table2(cfg Config) string { return system.Table2(cfg) }
+
+// ---- evaluation harness ----
+
+// ExperimentParams sizes an experiment.
+type ExperimentParams = experiments.Params
+
+// QuickParams returns bench-sized experiment parameters; StandardParams
+// returns the EXPERIMENTS.md parameters.
+func QuickParams() ExperimentParams    { return experiments.Quick() }
+func StandardParams() ExperimentParams { return experiments.Standard() }
+
+// Experiment drivers, one per paper artifact. See the experiments
+// package and EXPERIMENTS.md for details.
+var (
+	Fig4            = experiments.Fig4
+	Fig4Table       = experiments.Fig4Table
+	Fig5            = experiments.Fig5
+	Fig5Table       = experiments.Fig5Table
+	ReorderRates    = experiments.ReorderRates
+	ReorderTable    = experiments.ReorderTable
+	SnoopRecoveries = experiments.SnoopRecoveries
+	SnoopTable      = experiments.SnoopTable
+	BufferSweep     = experiments.BufferSweep
+	BufferTable     = experiments.BufferTable
+)
