@@ -7,9 +7,11 @@
 package specsimp
 
 import (
+	"strconv"
 	"testing"
 
 	"specsimp/internal/experiments"
+	"specsimp/internal/runner"
 	"specsimp/internal/sim"
 	"specsimp/internal/system"
 	"specsimp/internal/workload"
@@ -217,6 +219,32 @@ func BenchmarkCheckpointAblation(b *testing.B) {
 		b.ReportMetric(res[0].LogHighWater, "logbytes@2k")
 		b.ReportMetric(res[1].LogHighWater, "logbytes@20k")
 	}
+}
+
+// BenchmarkRunnerGrid measures the sweep engine's scheduling overhead:
+// dispatching a 256-point grid of trivial points through the bounded
+// worker pool, i.e. the harness cost on top of the simulations.
+func BenchmarkRunnerGrid(b *testing.B) {
+	pts := make([]runner.Point, 256)
+	for i := range pts {
+		pts[i] = runner.Point{
+			Experiment: "bench",
+			Workload:   "none",
+			Params:     map[string]string{"i": strconv.Itoa(i)},
+			Seed:       runner.PerturbSeed(1, i),
+			Run: func(seed uint64) map[string]float64 {
+				return map[string]float64{"perf": float64(seed)}
+			},
+		}
+	}
+	r := &runner.Runner{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := r.Run(pts); len(res) != len(pts) {
+			b.Fatal("dropped results")
+		}
+	}
+	b.ReportMetric(float64(len(pts)), "points/op")
 }
 
 // BenchmarkSystemThroughput measures raw simulator speed: simulated

@@ -14,27 +14,47 @@
 //	sweep -exp checkpoint         # ablation A3
 //	sweep -exp all
 //	sweep -exp fig5 -quick        # bench-sized parameters
+//
+// Execution and artifacts (see EXPERIMENTS.md "Artifact layout"):
+//
+//	sweep -exp all -parallel 4 -out /tmp/run1   # bounded pool, persisted CSV+JSON
+//	sweep -exp all -out auto                    # timestamped dir under sweep-runs/
+//	sweep -exp fig4 -json                       # JSON summaries on stdout
+//
+// With -out, every run lands as one CSV row (<experiment>.csv), every
+// experiment writes a JSON summary (<experiment>.json), and the run is
+// described by manifest.json. Identical invocations reproduce the CSVs
+// and summaries byte for byte; only the manifest carries wall-clock
+// state.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 	"time"
 
 	"specsimp"
 	"specsimp/internal/experiments"
+	"specsimp/internal/runner"
 	"specsimp/internal/sim"
 	"specsimp/internal/workload"
 )
 
 func main() {
+	startedAt := time.Now().UTC()
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, slowstart, checkpoint, all")
-		quick  = flag.Bool("quick", false, "bench-sized parameters (faster, noisier)")
-		wlName = flag.String("workload", "oltp", "workload for reorder/buffers/ablations")
+		exp      = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, slowstart, deflection, reenable, checkpoint, all")
+		quick    = flag.Bool("quick", false, "bench-sized parameters (faster, noisier)")
+		wlName   = flag.String("workload", "oltp", "workload for reorder/buffers/ablations")
+		parallel = flag.Int("parallel", 0, "worker-pool bound for grid execution (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "artifact directory for CSV+JSON results ('auto' = timestamped dir under sweep-runs/, empty = none)")
+		asJSON   = flag.Bool("json", false, "print JSON summaries to stdout instead of tables")
 	)
 	flag.Parse()
 
@@ -47,78 +67,154 @@ func main() {
 		log.Fatalf("unknown workload %q", *wlName)
 	}
 
-	run := func(name string, fn func()) {
+	ex := &runner.Runner{Workers: *parallel}
+	if *out != "" {
+		dir := *out
+		if dir == "auto" {
+			dir = runner.TimestampedDir("sweep-runs")
+		}
+		sink, err := runner.NewSink(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex.Sink = sink
+	}
+	p.Exec = ex
+
+	var ran []string
+	run := func(name, title string, fn func() interface{}) {
+		ran = append(ran, name)
 		start := time.Now()
-		fmt.Printf("==== %s ====\n", name)
+		if *asJSON {
+			res := fn()
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]interface{}{"experiment": name, "results": res}); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("==== %s ====\n", title)
 		fn()
 		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
 	all := *exp == "all"
 	if all || *exp == "fig4" {
-		run("Figure 4: normalized performance vs mis-speculation rate", func() {
-			fmt.Printf("compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n\n", p.CyclesPerSecond)
-			fmt.Println(specsimp.Fig4Table(specsimp.Fig4(p)))
+		run("fig4", "Figure 4: normalized performance vs mis-speculation rate", func() interface{} {
+			if !*asJSON {
+				fmt.Printf("compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n\n", p.CyclesPerSecond)
+			}
+			res := specsimp.Fig4(p)
+			if !*asJSON {
+				fmt.Println(specsimp.Fig4Table(res))
+			}
+			return res
 		})
 	}
 	if all || *exp == "fig5" {
-		run("Figure 5: static vs adaptive routing (400 MB/s links)", func() {
-			fmt.Println(specsimp.Fig5Table(specsimp.Fig5(p)))
+		run("fig5", "Figure 5: static vs adaptive routing (400 MB/s links)", func() interface{} {
+			res := specsimp.Fig5(p)
+			if !*asJSON {
+				fmt.Println(specsimp.Fig5Table(res))
+			}
+			return res
 		})
 	}
 	if all || *exp == "reorder" {
-		run("§5.3: message reorder rates vs link bandwidth ("+wl.Name+")", func() {
-			fmt.Println(specsimp.ReorderTable(specsimp.ReorderRates(p, wl)))
+		run("reorder", "§5.3: message reorder rates vs link bandwidth ("+wl.Name+")", func() interface{} {
+			res := specsimp.ReorderRates(p, wl)
+			if !*asJSON {
+				fmt.Println(specsimp.ReorderTable(res))
+			}
+			return res
 		})
 	}
 	if all || *exp == "snoop" {
-		run("§5.3: speculatively simplified snooping protocol", func() {
-			fmt.Println(specsimp.SnoopTable(specsimp.SnoopRecoveries(p)))
+		run("snoop", "§5.3: speculatively simplified snooping protocol", func() interface{} {
+			res := specsimp.SnoopRecoveries(p)
+			if !*asJSON {
+				fmt.Println(specsimp.SnoopTable(res))
+			}
+			return res
 		})
 	}
 	if all || *exp == "buffers" {
-		run("§5.3: simplified interconnect buffer sweep ("+wl.Name+")", func() {
-			fmt.Println(specsimp.BufferTable(specsimp.BufferSweep(p, wl)))
+		run("buffers", "§5.3: simplified interconnect buffer sweep ("+wl.Name+")", func() interface{} {
+			res := specsimp.BufferSweep(p, wl)
+			if !*asJSON {
+				fmt.Println(specsimp.BufferTable(res))
+			}
+			return res
 		})
 	}
 	if all || *exp == "slowstart" {
-		run("Ablation A2: slow-start outstanding limit ("+wl.Name+", 2-entry buffers)", func() {
+		run("slowstart", "Ablation A2: slow-start outstanding limit ("+wl.Name+", 2-entry buffers)", func() interface{} {
 			res := experiments.SlowStartAblation(p, wl, []int{1, 2, 4, 8})
-			for _, r := range res {
-				fmt.Printf("  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
+			if !*asJSON {
+				for _, r := range res {
+					fmt.Printf("  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
+				}
 			}
+			return res
 		})
 	}
 	if all || *exp == "deflection" {
-		run("Ablation A4: deadlock-recovery vs deflection routing ("+wl.Name+")", func() {
+		run("deflection", "Ablation A4: deadlock-recovery vs deflection routing ("+wl.Name+")", func() interface{} {
 			res := experiments.DeflectionAblation(p, wl)
-			for _, r := range res {
-				fmt.Printf("  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
-					r.Name, r.Perf, r.Recoveries, r.Deflections)
+			if !*asJSON {
+				for _, r := range res {
+					fmt.Printf("  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
+						r.Name, r.Perf, r.Recoveries, r.Deflections)
+				}
 			}
+			return res
 		})
 	}
 	if all || *exp == "reenable" {
-		run("Ablation A5: adaptive-routing re-enable window ("+wl.Name+", amplified reordering)", func() {
+		run("reenable", "Ablation A5: adaptive-routing re-enable window ("+wl.Name+", amplified reordering)", func() interface{} {
 			res := experiments.ReenableAblation(p, wl,
 				[]sim.Time{0, 2 * p.CheckpointInterval, 10 * p.CheckpointInterval, 50 * p.CheckpointInterval})
-			for _, r := range res {
-				name := fmt.Sprintf("%d cycles", r.Window)
-				if r.Window == 0 {
-					name = "never (conservative)"
+			if !*asJSON {
+				for _, r := range res {
+					name := fmt.Sprintf("%d cycles", r.Window)
+					if r.Window == 0 {
+						name = "never (conservative)"
+					}
+					fmt.Printf("  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
 				}
-				fmt.Printf("  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
 			}
+			return res
 		})
 	}
 	if all || *exp == "checkpoint" {
-		run("Ablation A3: checkpoint interval vs log occupancy", func() {
+		run("checkpoint", "Ablation A3: checkpoint interval vs log occupancy", func() interface{} {
 			res := experiments.CheckpointAblation(p, workload.Uniform,
 				[]sim.Time{2_000, 5_000, 20_000, 50_000})
-			for _, r := range res {
-				fmt.Printf("  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
-					r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
+			if !*asJSON {
+				for _, r := range res {
+					fmt.Printf("  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
+						r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
+				}
 			}
+			return res
 		})
+	}
+	if len(ran) == 0 {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	if s := ex.Sink; s != nil {
+		s.WriteJSON("manifest", runner.Manifest{
+			StartedAt:   startedAt,
+			Command:     strings.Join(os.Args, " "),
+			Experiments: ran,
+			Workers:     ex.WorkerBound(),
+			Quick:       *quick,
+		})
+		if err := s.Err(); err != nil {
+			log.Fatalf("artifact write failed: %v", err)
+		}
+		log.Printf("artifacts written to %s", s.Dir())
 	}
 }

@@ -8,12 +8,15 @@
 //	tables -table 3           # workload suite (Table 3)
 //	tables -table complexity  # full-vs-spec controller complexity (A1)
 //	tables -table all
+//	tables -table complexity -json   # machine-readable complexity counts
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"specsimp"
 )
@@ -22,7 +25,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tables: ")
 	which := flag.String("table", "all", "table to print: 1, 2, 3, complexity, all")
+	asJSON := flag.Bool("json", false, "emit the complexity comparison as JSON (tables 1-3 are prose-only)")
 	flag.Parse()
+
+	if *asJSON {
+		if *which != "complexity" && *which != "all" {
+			log.Fatalf("-json covers only -table complexity")
+		}
+		complexityJSON()
+		return
+	}
 
 	switch *which {
 	case "1":
@@ -64,6 +76,24 @@ func table3() {
 		fmt.Printf("%-10s shared %d blocks (%.0f%% of refs, %.0f%% stores), private %d blocks/node, migratory %.0f%%\n",
 			"", wl.SharedBlocks, 100*wl.SharedFrac, 100*wl.StoreFrac, wl.PrivateBlocks, 100*wl.MigratoryFrac)
 		fmt.Println()
+	}
+}
+
+func complexityJSON() {
+	doc := map[string]interface{}{
+		"directory": map[string]interface{}{
+			"full": specsimp.DirectoryComplexity(specsimp.DirFull),
+			"spec": specsimp.DirectoryComplexity(specsimp.DirSpec),
+		},
+		"snooping": map[string]interface{}{
+			"full": specsimp.SnoopComplexity(specsimp.SnFull),
+			"spec": specsimp.SnoopComplexity(specsimp.SnSpec),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,3 @@
+module specsimp
+
+go 1.24

@@ -1,7 +1,12 @@
 // Package experiments implements the paper's evaluation (§5): one
 // driver per table and figure, shared by cmd/sweep and the root
-// benchmark suite. Each driver returns structured results plus a
-// formatted table in the paper's layout.
+// benchmark suite. Each driver declares its design-point grid
+// (experiment × workload × params × repeat), executes it on the sweep
+// engine (internal/runner) — a bounded worker pool with deterministic
+// per-point seeds — and aggregates the per-run metrics into structured
+// results plus a formatted table in the paper's layout. When the engine
+// carries an artifact sink, every run lands as a CSV row and every
+// driver writes a JSON summary (see EXPERIMENTS.md "Artifact layout").
 //
 // Scale note: the paper's results are wall-clock rates at 4 GHz over
 // seconds of simulated execution. This reproduction compresses the
@@ -15,10 +20,11 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 
 	"specsimp/internal/network"
+	"specsimp/internal/runner"
 	"specsimp/internal/sim"
 	"specsimp/internal/stats"
 	"specsimp/internal/system"
@@ -39,6 +45,18 @@ type Params struct {
 	CheckpointInterval sim.Time
 	// Workloads are the profiles to evaluate (default: the paper's 5).
 	Workloads []workload.Profile
+	// Exec is the sweep engine the driver submits its grid to: it
+	// bounds worker concurrency and optionally persists artifacts. Nil
+	// uses a fresh engine bounded at GOMAXPROCS with no artifacts.
+	Exec *runner.Runner
+}
+
+// exec returns the configured sweep engine or a bounded default.
+func (p Params) exec() *runner.Runner {
+	if p.Exec != nil {
+		return p.Exec
+	}
+	return &runner.Runner{}
 }
 
 // Quick returns bench-sized parameters (seconds of host time).
@@ -73,6 +91,89 @@ type Cell struct {
 
 func (c Cell) String() string { return fmt.Sprintf("%.3f ±%.3f", c.Mean, c.Std) }
 
+// cell builds a Cell from a sample, normalized by base (0 disables
+// normalization of the mean and suppresses the error bar).
+func cell(s *stats.Sample, base float64) Cell {
+	if base <= 0 {
+		return Cell{}
+	}
+	return Cell{Mean: s.Mean() / base, Std: s.StdDev() / base}
+}
+
+// ---- grid construction ----
+
+// sysPoint declares one design-point run: a full system simulation of
+// cfg for cycles, seeded deterministically from cfg.Seed and the repeat
+// index (the §5.2 perturbation scheme).
+func sysPoint(exp string, cfg system.Config, cycles sim.Time, params map[string]string, repeat int) runner.Point {
+	return runner.Point{
+		Experiment: exp,
+		Workload:   cfg.Workload.Name,
+		Params:     params,
+		Repeat:     repeat,
+		Seed:       runner.PerturbSeed(cfg.Seed, repeat),
+		Run: func(seed uint64) map[string]float64 {
+			c := cfg
+			c.Seed = seed
+			return metricsFrom(system.RunOne(c, cycles))
+		},
+	}
+}
+
+// repeats appends one sysPoint per perturbed run of a design point.
+func repeats(pts []runner.Point, exp string, cfg system.Config, p Params, params map[string]string) []runner.Point {
+	for rep := 0; rep < p.Runs; rep++ {
+		pts = append(pts, sysPoint(exp, cfg, p.Cycles, params, rep))
+	}
+	return pts
+}
+
+// metricsFrom flattens a run's Results into the fixed metric schema
+// shared by every experiment's CSV artifact.
+func metricsFrom(r system.Results) map[string]float64 {
+	m := map[string]float64{
+		"perf":                 r.Perf,
+		"cycles":               float64(r.Cycles),
+		"instructions":         float64(r.Instructions),
+		"recoveries":           float64(r.Recoveries),
+		"checkpoints":          float64(r.Checkpoints),
+		"checkpoint_stall":     float64(r.CheckpointStall),
+		"mean_lost_work":       r.MeanLostWork,
+		"mean_link_util":       r.MeanLinkUtil,
+		"reorder_total":        r.TotalReorderRate,
+		"deflections":          float64(r.Deflections),
+		"timeouts":             float64(r.Timeouts),
+		"corner_detected":      float64(r.CornerDetected),
+		"corner_handled":       float64(r.CornerHandled),
+		"log_high_water_bytes": float64(r.LogHighWaterBytes),
+		"writebacks":           float64(r.Writebacks),
+		"wb_races":             float64(r.WBRaces),
+		"transactions":         float64(r.Transactions),
+		"miss_latency_mean":    r.MissLatencyMean,
+		"limit_stalls":         float64(r.LimitStalls),
+		"order_violations":     float64(r.OrderViolations),
+	}
+	for v := 0; v < 4; v++ {
+		rate := 0.0
+		if v < len(r.ReorderRatePerVNet) {
+			rate = r.ReorderRatePerVNet[v]
+		}
+		m["reorder_vnet"+strconv.Itoa(v)] = rate
+	}
+	return m
+}
+
+// sampleOf gathers one metric across n consecutive results starting at
+// i0 — the perturbed repeats of a single design point.
+func sampleOf(res []runner.Result, i0, n int, key string) *stats.Sample {
+	vals := make([]float64, n)
+	for j := 0; j < n; j++ {
+		vals[j] = res[i0+j].Metrics[key]
+	}
+	s := stats.Of(vals...)
+	return &s
+}
+
 // ---- Figure 4: performance vs mis-speculation rate ----
 
 // Fig4Result holds one workload row of Figure 4.
@@ -94,11 +195,8 @@ var Fig4Rates = []int{0, 1, 10, 100}
 // Fig4 reproduces Figure 4: inject periodic recoveries into the
 // non-speculative directory system and measure normalized performance.
 func Fig4(p Params) []Fig4Result {
-	out := make([]Fig4Result, len(p.Workloads))
-	parallelFor(len(p.Workloads), func(i int) {
-		wl := p.Workloads[i]
-		res := Fig4Result{Workload: wl.Name, PerfByRate: map[int]Cell{}, Recoveries: map[int]float64{}}
-		var base float64
+	var pts []runner.Point
+	for _, wl := range p.Workloads {
 		for _, rate := range Fig4Rates {
 			cfg := system.DefaultConfig(system.DirectoryFull, wl)
 			cfg.CheckpointInterval = p.CheckpointInterval
@@ -106,26 +204,32 @@ func Fig4(p Params) []Fig4Result {
 			if rate > 0 {
 				cfg.InjectRecoveryEvery = sim.Time(p.CyclesPerSecond / float64(rate))
 			}
-			pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
-			mean := pr.Perf.Mean()
-			if rate == 0 {
-				base = mean
-			}
-			norm, std := 1.0, 0.0
-			if base > 0 {
-				norm = mean / base
-				std = pr.Perf.StdDev() / base
-			}
-			res.PerfByRate[rate] = Cell{Mean: norm, Std: std}
-			res.Recoveries[rate] = pr.Recoveries.Mean()
-			for _, r := range pr.Runs {
-				if r.MeanLostWork > 0 {
-					res.MeanLostWork = r.MeanLostWork
-				}
-			}
+			pts = repeats(pts, "fig4", cfg, p, map[string]string{"rate": strconv.Itoa(rate)})
 		}
-		out[i] = res
-	})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]Fig4Result, len(p.Workloads))
+	i := 0
+	for wi, wl := range p.Workloads {
+		r := Fig4Result{Workload: wl.Name, PerfByRate: map[int]Cell{}, Recoveries: map[int]float64{}}
+		var base float64
+		for _, rate := range Fig4Rates {
+			perf := sampleOf(res, i, p.Runs, "perf")
+			if rate == 0 {
+				base = perf.Mean()
+			}
+			r.PerfByRate[rate] = cell(perf, base)
+			r.Recoveries[rate] = sampleOf(res, i, p.Runs, "recoveries").Mean()
+			if lost := sampleOf(res, i, p.Runs, "mean_lost_work").Max(); lost > 0 {
+				r.MeanLostWork = lost
+			}
+			i += p.Runs
+		}
+		out[wi] = r
+	}
+	ex.Summarize("fig4", out)
 	return out
 }
 
@@ -168,9 +272,8 @@ const Fig5LinkBandwidth = 0.1
 // Fig5 reproduces Figure 5: relative performance of static and adaptive
 // routing under the speculatively simplified directory protocol.
 func Fig5(p Params) []Fig5Result {
-	out := make([]Fig5Result, len(p.Workloads))
-	parallelFor(len(p.Workloads), func(i int) {
-		wl := p.Workloads[i]
+	var pts []runner.Point
+	for _, wl := range p.Workloads {
 		base := system.DefaultConfig(system.DirectorySpec, wl)
 		base.CheckpointInterval = p.CheckpointInterval
 		// Figure 5's networks (safe static; adaptive with full buffering)
@@ -181,30 +284,30 @@ func Fig5(p Params) []Fig5Result {
 
 		st := base
 		st.Net = network.SafeStaticConfig(4, 4, Fig5LinkBandwidth)
-		staticPR := system.RunPerturbed(st, p.Runs, p.Cycles)
+		pts = repeats(pts, "fig5", st, p, map[string]string{"routing": "static"})
 
 		ad := base
 		ad.Net = network.AdaptiveConfig(4, 4, Fig5LinkBandwidth)
 		ad.AdaptiveDisableWindow = 10 * p.CheckpointInterval
-		adaptPR := system.RunPerturbed(ad, p.Runs, p.Cycles)
+		pts = repeats(pts, "fig5", ad, p, map[string]string{"routing": "adaptive"})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
 
-		sm := staticPR.Perf.Mean()
+	out := make([]Fig5Result, len(p.Workloads))
+	i := 0
+	for wi, wl := range p.Workloads {
+		static, adaptive := i, i+p.Runs
+		i += 2 * p.Runs
 		r := Fig5Result{Workload: wl.Name, StaticPerf: Cell{1, 0}}
-		if sm > 0 {
-			r.AdaptivePerf = Cell{adaptPR.Perf.Mean() / sm, adaptPR.Perf.StdDev() / sm}
-		}
-		r.Recoveries = adaptPR.Recoveries.Mean()
-		var reorder, util stats.Sample
-		for _, run := range adaptPR.Runs {
-			reorder.Observe(run.TotalReorderRate)
-		}
-		for _, run := range staticPR.Runs {
-			util.Observe(run.MeanLinkUtil)
-		}
-		r.ReorderRate = reorder.Mean()
-		r.MeanLinkUtil = util.Mean()
-		out[i] = r
-	})
+		sm := sampleOf(res, static, p.Runs, "perf").Mean()
+		r.AdaptivePerf = cell(sampleOf(res, adaptive, p.Runs, "perf"), sm)
+		r.Recoveries = sampleOf(res, adaptive, p.Runs, "recoveries").Mean()
+		r.ReorderRate = sampleOf(res, adaptive, p.Runs, "reorder_total").Mean()
+		r.MeanLinkUtil = sampleOf(res, static, p.Runs, "mean_link_util").Mean()
+		out[wi] = r
+	}
+	ex.Summarize("fig5", out)
 	return out
 }
 
@@ -239,34 +342,31 @@ var ReorderBandwidths = []float64{0.1, 0.2, 0.4, 0.8}
 // ReorderRates reproduces the §5.3 reorder-rate measurements on the
 // speculative directory system with adaptive routing.
 func ReorderRates(p Params, wl workload.Profile) []ReorderResult {
-	out := make([]ReorderResult, len(ReorderBandwidths))
-	parallelFor(len(ReorderBandwidths), func(i int) {
-		bw := ReorderBandwidths[i]
+	var pts []runner.Point
+	for _, bw := range ReorderBandwidths {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 0 // full-buffering adaptive net cannot deadlock
 		cfg.Net = network.AdaptiveConfig(4, 4, bw)
 		cfg.AdaptiveDisableWindow = 10 * p.CheckpointInterval
-		pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
+		pts = repeats(pts, "reorder", cfg, p, map[string]string{"bw": strconv.FormatFloat(bw, 'g', -1, 64)})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]ReorderResult, len(ReorderBandwidths))
+	for bi, bw := range ReorderBandwidths {
+		i := bi * p.Runs
 		r := ReorderResult{BandwidthBpc: bw, BandwidthMBs: bw * 4000}
-		var total, rec, util stats.Sample
-		per := make([]stats.Sample, 4)
-		for _, run := range pr.Runs {
-			total.Observe(run.TotalReorderRate)
-			rec.Observe(float64(run.Recoveries))
-			util.Observe(run.MeanLinkUtil)
-			for v := 0; v < len(run.ReorderRatePerVNet) && v < 4; v++ {
-				per[v].Observe(run.ReorderRatePerVNet[v])
-			}
+		r.Total = sampleOf(res, i, p.Runs, "reorder_total").Mean()
+		r.Recoveries = sampleOf(res, i, p.Runs, "recoveries").Mean()
+		r.MeanLinkUtil = sampleOf(res, i, p.Runs, "mean_link_util").Mean()
+		for v := 0; v < 4; v++ {
+			r.PerVNet = append(r.PerVNet, sampleOf(res, i, p.Runs, "reorder_vnet"+strconv.Itoa(v)).Mean())
 		}
-		r.Total = total.Mean()
-		r.Recoveries = rec.Mean()
-		r.MeanLinkUtil = util.Mean()
-		for v := range per {
-			r.PerVNet = append(r.PerVNet, per[v].Mean())
-		}
-		out[i] = r
-	})
+		out[bi] = r
+	}
+	ex.Summarize("reorder", out)
 	return out
 }
 
@@ -301,30 +401,30 @@ type SnoopResult struct {
 // run to completion with (essentially) no recoveries, and performance
 // mirrors the fully designed protocol.
 func SnoopRecoveries(p Params) []SnoopResult {
-	out := make([]SnoopResult, len(p.Workloads))
-	parallelFor(len(p.Workloads), func(i int) {
-		wl := p.Workloads[i]
+	var pts []runner.Point
+	for _, wl := range p.Workloads {
 		full := system.DefaultConfig(system.SnoopFull, wl)
 		full.CheckpointInterval = p.CheckpointInterval
+		pts = repeats(pts, "snoop", full, p, map[string]string{"variant": "full"})
 		spec := system.DefaultConfig(system.SnoopSpec, wl)
 		spec.CheckpointInterval = p.CheckpointInterval
-		fullPR := system.RunPerturbed(full, p.Runs, p.Cycles)
-		specPR := system.RunPerturbed(spec, p.Runs, p.Cycles)
+		pts = repeats(pts, "snoop", spec, p, map[string]string{"variant": "spec"})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]SnoopResult, len(p.Workloads))
+	i := 0
+	for wi, wl := range p.Workloads {
+		full, spec := i, i+p.Runs
+		i += 2 * p.Runs
 		r := SnoopResult{Workload: wl.Name}
-		if m := fullPR.Perf.Mean(); m > 0 {
-			r.Perf = Cell{specPR.Perf.Mean() / m, specPR.Perf.StdDev() / m}
-		}
-		var det, hit stats.Sample
-		for _, run := range specPR.Runs {
-			det.Observe(float64(run.CornerDetected))
-		}
-		for _, run := range fullPR.Runs {
-			hit.Observe(float64(run.CornerHandled))
-		}
-		r.CornerDetected = det.Mean()
-		r.FullCornerHit = hit.Mean()
-		out[i] = r
-	})
+		r.Perf = cell(sampleOf(res, spec, p.Runs, "perf"), sampleOf(res, full, p.Runs, "perf").Mean())
+		r.CornerDetected = sampleOf(res, spec, p.Runs, "corner_detected").Mean()
+		r.FullCornerHit = sampleOf(res, full, p.Runs, "corner_handled").Mean()
+		out[wi] = r
+	}
+	ex.Summarize("snoop", out)
 	return out
 }
 
@@ -363,38 +463,38 @@ const BufferSweepBandwidth = 0.2
 // interconnect (no virtual networks/channels, one shared buffer pool
 // per switch) holds steady performance until buffers get very small,
 // then drops sharply once deadlocks appear and are resolved by
-// timeout-triggered recovery.
+// timeout-triggered recovery. Normalization against the worst-case
+// baseline happens at aggregation time, so the whole grid — baseline
+// included — runs on one worker pool.
 func BufferSweep(p Params, wl workload.Profile) []BufferResult {
-	out := make([]BufferResult, len(BufferSizes))
-	var base float64
-	// The worst-case baseline must run first to normalize the rest.
-	run := func(i int) {
-		size := BufferSizes[i]
+	var pts []runner.Point
+	for _, size := range BufferSizes {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 3 * p.CheckpointInterval
 		cfg.SlowStartWindow = 5 * p.CheckpointInterval
 		cfg.Net = network.SimplifiedConfig(4, 4, BufferSweepBandwidth, size)
-		pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
-		r := BufferResult{BufferSize: size}
-		mean := pr.Perf.Mean()
-		if size == 0 {
-			base = mean
-		}
-		if base > 0 {
-			r.Perf = Cell{mean / base, pr.Perf.StdDev() / base}
-		}
-		var rec, to stats.Sample
-		for _, rr := range pr.Runs {
-			rec.Observe(float64(rr.Recoveries))
-			to.Observe(float64(rr.Timeouts))
-		}
-		r.Recoveries = rec.Mean()
-		r.Timeouts = to.Mean()
-		out[i] = r
+		pts = repeats(pts, "buffers", cfg, p, map[string]string{"bufsize": strconv.Itoa(size)})
 	}
-	run(0)
-	parallelFor(len(BufferSizes)-1, func(i int) { run(i + 1) })
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]BufferResult, len(BufferSizes))
+	var base float64
+	for si, size := range BufferSizes {
+		i := si * p.Runs
+		perf := sampleOf(res, i, p.Runs, "perf")
+		if size == 0 {
+			base = perf.Mean()
+		}
+		out[si] = BufferResult{
+			BufferSize: size,
+			Perf:       cell(perf, base),
+			Recoveries: sampleOf(res, i, p.Runs, "recoveries").Mean(),
+			Timeouts:   sampleOf(res, i, p.Runs, "timeouts").Mean(),
+		}
+	}
+	ex.Summarize("buffers", out)
 	return out
 }
 
@@ -436,26 +536,30 @@ func DeflectionAblation(p Params, wl workload.Profile) []DeflectionResult {
 		{"simplified-2buf", network.SimplifiedConfig(4, 4, BufferSweepBandwidth, 2)},
 		{"deflection", network.DeflectionConfig(4, 4, BufferSweepBandwidth)},
 	}
-	out := make([]DeflectionResult, len(configs))
-	parallelFor(len(configs), func(i int) {
+	var pts []runner.Point
+	for _, c := range configs {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 3 * p.CheckpointInterval
 		cfg.SlowStartWindow = 5 * p.CheckpointInterval
-		cfg.Net = configs[i].net
-		pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
-		var rec, defl stats.Sample
-		for _, rr := range pr.Runs {
-			rec.Observe(float64(rr.Recoveries))
-			defl.Observe(float64(rr.Deflections))
+		cfg.Net = c.net
+		pts = repeats(pts, "deflection", cfg, p, map[string]string{"net": c.name})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]DeflectionResult, len(configs))
+	for ci, c := range configs {
+		i := ci * p.Runs
+		perf := sampleOf(res, i, p.Runs, "perf")
+		out[ci] = DeflectionResult{
+			Name:        c.name,
+			Perf:        Cell{perf.Mean(), perf.StdDev()},
+			Recoveries:  sampleOf(res, i, p.Runs, "recoveries").Mean(),
+			Deflections: sampleOf(res, i, p.Runs, "deflections").Mean(),
 		}
-		out[i] = DeflectionResult{
-			Name:        configs[i].name,
-			Perf:        Cell{pr.Perf.Mean(), pr.Perf.StdDev()},
-			Recoveries:  rec.Mean(),
-			Deflections: defl.Mean(),
-		}
-	})
+	}
+	ex.Summarize("deflection", out)
 	return out
 }
 
@@ -471,25 +575,30 @@ type SlowStartResult struct {
 // simplified network (2-entry shared pools, where deadlocks actually
 // occur — see BufferSweep).
 func SlowStartAblation(p Params, wl workload.Profile, limits []int) []SlowStartResult {
-	out := make([]SlowStartResult, len(limits))
-	parallelFor(len(limits), func(i int) {
+	var pts []runner.Point
+	for _, limit := range limits {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 3 * p.CheckpointInterval
 		cfg.Net = network.SimplifiedConfig(4, 4, BufferSweepBandwidth, 2)
 		cfg.SlowStartWindow = 10 * p.CheckpointInterval
-		cfg.SlowStartLimit = limits[i]
-		pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
-		var rec stats.Sample
-		for _, rr := range pr.Runs {
-			rec.Observe(float64(rr.Recoveries))
+		cfg.SlowStartLimit = limit
+		pts = repeats(pts, "slowstart", cfg, p, map[string]string{"limit": strconv.Itoa(limit)})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]SlowStartResult, len(limits))
+	for li, limit := range limits {
+		i := li * p.Runs
+		perf := sampleOf(res, i, p.Runs, "perf")
+		out[li] = SlowStartResult{
+			Limit:      limit,
+			Perf:       Cell{perf.Mean(), perf.StdDev()},
+			Recoveries: sampleOf(res, i, p.Runs, "recoveries").Mean(),
 		}
-		out[i] = SlowStartResult{
-			Limit:      limits[i],
-			Perf:       Cell{pr.Perf.Mean(), pr.Perf.StdDev()},
-			Recoveries: rec.Mean(),
-		}
-	})
+	}
+	ex.Summarize("slowstart", out)
 	return out
 }
 
@@ -510,30 +619,35 @@ type ReenableResult struct {
 // ReenableAblation sweeps the adaptive-routing re-enable window under
 // amplified reordering.
 func ReenableAblation(p Params, wl workload.Profile, windows []sim.Time) []ReenableResult {
-	out := make([]ReenableResult, len(windows))
-	parallelFor(len(windows), func(i int) {
+	var pts []runner.Point
+	for _, w := range windows {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 0
 		cfg.Net = network.AdaptiveConfig(4, 4, BufferSweepBandwidth)
-		cfg.AdaptiveDisableWindow = windows[i]
+		cfg.AdaptiveDisableWindow = w
 		cfg.SlowStartWindow = 5 * p.CheckpointInterval
 		cfg.ReorderInjectProb = 0.3
 		cfg.ReorderInjectDelay = 3_000
 		// Tiny caches keep writebacks frequent enough to race.
 		cfg.L2Bytes, cfg.L2Ways = 16*64, 2
 		cfg.L1Bytes, cfg.L1Ways = 2*64, 1
-		pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
-		var rec stats.Sample
-		for _, rr := range pr.Runs {
-			rec.Observe(float64(rr.Recoveries))
+		pts = repeats(pts, "reenable", cfg, p, map[string]string{"window": strconv.FormatUint(uint64(w), 10)})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]ReenableResult, len(windows))
+	for wi, w := range windows {
+		i := wi * p.Runs
+		perf := sampleOf(res, i, p.Runs, "perf")
+		out[wi] = ReenableResult{
+			Window:     w,
+			Perf:       Cell{perf.Mean(), perf.StdDev()},
+			Recoveries: sampleOf(res, i, p.Runs, "recoveries").Mean(),
 		}
-		out[i] = ReenableResult{
-			Window:     windows[i],
-			Perf:       Cell{pr.Perf.Mean(), pr.Perf.StdDev()},
-			Recoveries: rec.Mean(),
-		}
-	})
+	}
+	ex.Summarize("reenable", out)
 	return out
 }
 
@@ -548,41 +662,31 @@ type CheckpointResult struct {
 // CheckpointAblation measures checkpoint-interval effects: log
 // occupancy grows with the interval while checkpoint stalls shrink.
 func CheckpointAblation(p Params, wl workload.Profile, intervals []sim.Time) []CheckpointResult {
-	out := make([]CheckpointResult, len(intervals))
-	parallelFor(len(intervals), func(i int) {
+	var pts []runner.Point
+	for _, ival := range intervals {
 		cfg := system.DefaultConfig(system.DirectoryFull, wl)
-		cfg.CheckpointInterval = intervals[i]
-		pr := system.RunPerturbed(cfg, p.Runs, p.Cycles)
-		var hw, stall stats.Sample
-		for _, rr := range pr.Runs {
-			hw.Observe(float64(rr.LogHighWaterBytes))
-			stall.Observe(float64(rr.CheckpointStall))
+		cfg.CheckpointInterval = ival
+		pts = repeats(pts, "checkpoint", cfg, p, map[string]string{"interval": strconv.FormatUint(uint64(ival), 10)})
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]CheckpointResult, len(intervals))
+	for ii, ival := range intervals {
+		i := ii * p.Runs
+		perf := sampleOf(res, i, p.Runs, "perf")
+		out[ii] = CheckpointResult{
+			Interval:        ival,
+			Perf:            Cell{perf.Mean(), perf.StdDev()},
+			LogHighWater:    sampleOf(res, i, p.Runs, "log_high_water_bytes").Mean(),
+			CheckpointStall: sampleOf(res, i, p.Runs, "checkpoint_stall").Mean(),
 		}
-		out[i] = CheckpointResult{
-			Interval:        intervals[i],
-			Perf:            Cell{pr.Perf.Mean(), pr.Perf.StdDev()},
-			LogHighWater:    hw.Mean(),
-			CheckpointStall: stall.Mean(),
-		}
-	})
+	}
+	ex.Summarize("checkpoint", out)
 	return out
 }
 
 // ---- helpers ----
-
-// parallelFor runs fn(0..n-1) concurrently, each on its own kernel.
-func parallelFor(n int, fn func(i int)) {
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			fn(i)
-		}()
-	}
-	wg.Wait()
-}
 
 // Summary formats any experiment's key-value pairs sorted by key, for
 // stable log output.

@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"specsimp/internal/runner"
 	"specsimp/internal/sim"
 	"specsimp/internal/workload"
 )
@@ -157,6 +162,89 @@ func TestCheckpointAblationDriver(t *testing.T) {
 	// Longer intervals hold more uncommitted log state.
 	if res[1].LogHighWater < res[0].LogHighWater {
 		t.Logf("note: high water %0.f < %0.f despite longer interval (small run)", res[1].LogHighWater, res[0].LogHighWater)
+	}
+}
+
+// TestDriverArtifacts runs one driver with an artifact sink and checks
+// the tentpole contract: one CSV row per run, a JSON summary per
+// experiment, both matching the aggregated in-memory results.
+func TestDriverArtifacts(t *testing.T) {
+	p := tiny()
+	dir := t.TempDir()
+	sink, err := runner.NewSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Exec = &runner.Runner{Workers: 2, Sink: sink}
+	res := Fig4(p)
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	csvData, err := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(csvData), "\n"), "\n")
+	wantRows := len(p.Workloads) * len(Fig4Rates) * p.Runs
+	if len(lines) != 1+wantRows {
+		t.Fatalf("fig4.csv has %d lines, want header + %d rows", len(lines), wantRows)
+	}
+	header := lines[0]
+	for _, col := range []string{"experiment", "workload", "repeat", "seed", "rate", "perf", "recoveries"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("fig4.csv header missing %q: %s", col, header)
+		}
+	}
+
+	var summary []Fig4Result
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &summary); err != nil {
+		t.Fatalf("fig4.json: %v", err)
+	}
+	if len(summary) != len(res) {
+		t.Fatalf("summary has %d workloads, driver returned %d", len(summary), len(res))
+	}
+	for i := range summary {
+		if summary[i].Workload != res[i].Workload || summary[i].PerfByRate[100] != res[i].PerfByRate[100] {
+			t.Fatalf("summary[%d] %+v diverges from driver result %+v", i, summary[i], res[i])
+		}
+	}
+}
+
+// TestDriverDeterminism is the satellite reproducibility test: the same
+// grid executed twice (different worker counts) emits byte-identical
+// CSV and JSON artifacts.
+func TestDriverDeterminism(t *testing.T) {
+	p := tiny()
+	p.Workloads = []workload.Profile{workload.Uniform}
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for i, workers := range []int{1, 4} {
+		sink, err := runner.NewSink(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Exec = &runner.Runner{Workers: workers, Sink: sink}
+		CheckpointAblation(p, workload.Uniform, []sim.Time{2_000, 8_000})
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"checkpoint.csv", "checkpoint.json"} {
+		a, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s not reproducible across identical grids", name)
+		}
 	}
 }
 

@@ -1,0 +1,118 @@
+// Package runner is the sweep engine behind the evaluation harness: it
+// executes a declarative grid of design points (experiment × workload ×
+// params × repeat) on a bounded worker pool with deterministic per-point
+// RNG seeds, and optionally persists structured artifacts — one CSV row
+// per run plus a JSON summary per experiment — through a Sink.
+//
+// The experiment drivers in internal/experiments build grids, hand them
+// to a Runner, and aggregate the returned per-run metrics into the
+// paper's tables; cmd/sweep wires the Runner's worker bound (-parallel)
+// and Sink (-out) from the command line. Given identical grids and
+// seeds, two runs produce byte-identical CSV artifacts regardless of
+// worker count or scheduling order.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Point is one design point instance: a single simulated run.
+type Point struct {
+	// Experiment names the owning experiment (e.g. "fig4"); it selects
+	// the CSV file and JSON summary the point's row lands in.
+	Experiment string
+	// Workload is the workload profile name, or "" for workload-less
+	// points.
+	Workload string
+	// Params are the experiment's axis settings for this point (e.g.
+	// rate=100, bw=0.2), recorded as CSV columns in sorted-key order.
+	Params map[string]string
+	// Repeat is the perturbed-run index within the design point
+	// (paper §5.2 methodology).
+	Repeat int
+	// Seed is the deterministic RNG seed for this run; use PerturbSeed
+	// to derive it from a base seed and Repeat.
+	Seed uint64
+	// Run executes the point and returns its metrics. It must be a pure
+	// function of seed so that re-running a grid reproduces artifacts
+	// byte for byte.
+	Run func(seed uint64) map[string]float64
+}
+
+// Result pairs a point with the metrics its run produced.
+type Result struct {
+	Point
+	Metrics map[string]float64
+}
+
+// PerturbSeed derives the deterministic seed for a repeat from a base
+// seed, matching the perturbation scheme of system.RunPerturbed so that
+// grid-based drivers reproduce the historical per-run numbers.
+func PerturbSeed(base uint64, repeat int) uint64 {
+	return base + uint64(repeat)*7919
+}
+
+// Runner executes grids on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent point executions; <= 0 means
+	// GOMAXPROCS. Each point runs its own single-threaded simulation
+	// kernel, so the bound is the whole concurrency story — grids never
+	// oversubscribe the host no matter how many points they contain.
+	Workers int
+	// Sink, when non-nil, receives one CSV row per executed point.
+	Sink *Sink
+}
+
+// WorkerBound returns the effective pool size.
+func (r *Runner) WorkerBound() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run executes every point on the bounded pool and returns results in
+// point order (independent of scheduling). Exactly WorkerBound worker
+// goroutines are spawned no matter how large the grid is. If a Sink is
+// configured the results are appended to the per-experiment CSVs, also
+// in point order.
+func (r *Runner) Run(points []Point) []Result {
+	results := make([]Result, len(points))
+	workers := r.WorkerBound()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = Result{Point: points[i], Metrics: points[i].Run(points[i].Seed)}
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if r.Sink != nil {
+		r.Sink.AppendRows(results)
+	}
+	return results
+}
+
+// Summarize writes an experiment's aggregated results as its JSON
+// summary artifact, if a Sink is configured.
+func (r *Runner) Summarize(experiment string, v interface{}) {
+	if r.Sink != nil {
+		r.Sink.WriteJSON(experiment, v)
+	}
+}

@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// grid builds n points whose metrics are a pure function of the seed,
+// mimicking a deterministic simulation.
+func grid(exp string, n, repeats int, gauge func()) []Point {
+	var pts []Point
+	for d := 0; d < n; d++ {
+		for rep := 0; rep < repeats; rep++ {
+			d := d
+			pts = append(pts, Point{
+				Experiment: exp,
+				Workload:   fmt.Sprintf("wl%d", d%3),
+				Params:     map[string]string{"axis": fmt.Sprintf("%d", d), "beta": "x"},
+				Repeat:     rep,
+				Seed:       PerturbSeed(uint64(d+1), rep),
+				Run: func(seed uint64) map[string]float64 {
+					if gauge != nil {
+						gauge()
+					}
+					return map[string]float64{
+						"perf":  float64(seed%97) / 97,
+						"count": float64(d),
+					}
+				},
+			})
+		}
+	}
+	return pts
+}
+
+func TestRunPreservesPointOrder(t *testing.T) {
+	r := &Runner{Workers: 4}
+	pts := grid("order", 8, 3, nil)
+	res := r.Run(pts)
+	if len(res) != len(pts) {
+		t.Fatalf("got %d results for %d points", len(res), len(pts))
+	}
+	for i, rr := range res {
+		if rr.Seed != pts[i].Seed || rr.Repeat != pts[i].Repeat {
+			t.Fatalf("result %d out of order: seed %d vs %d", i, rr.Seed, pts[i].Seed)
+		}
+		want := float64(pts[i].Seed%97) / 97
+		if rr.Metrics["perf"] != want {
+			t.Fatalf("result %d: perf %v, want %v", i, rr.Metrics["perf"], want)
+		}
+	}
+}
+
+func TestPerturbSeedMatchesHistoricalScheme(t *testing.T) {
+	// system.RunPerturbed's scheme: base + i*7919. The grid port must
+	// reproduce the same per-run seeds so historical results carry over.
+	if got := PerturbSeed(1, 0); got != 1 {
+		t.Fatalf("repeat 0: %d", got)
+	}
+	if got := PerturbSeed(1, 2); got != 1+2*7919 {
+		t.Fatalf("repeat 2: %d", got)
+	}
+}
+
+// TestWorkerPoolBound verifies the satellite requirement: grid execution
+// never runs more than the configured number of points at once, and the
+// default bound is GOMAXPROCS rather than one goroutine per point.
+func TestWorkerPoolBound(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var inFlight, maxSeen atomic.Int64
+		var mu sync.Mutex
+		gauge := func() {
+			cur := inFlight.Add(1)
+			mu.Lock()
+			if cur > maxSeen.Load() {
+				maxSeen.Store(cur)
+			}
+			mu.Unlock()
+			runtime.Gosched() // widen the race window
+			inFlight.Add(-1)
+		}
+		r := &Runner{Workers: workers}
+		r.Run(grid("bound", 16, 2, gauge))
+		if got := maxSeen.Load(); got > int64(workers) {
+			t.Fatalf("workers=%d: observed %d concurrent points", workers, got)
+		}
+	}
+	if def := (&Runner{}).WorkerBound(); def != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default bound %d, want GOMAXPROCS=%d", def, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestDeterministicCSV verifies the tentpole reproducibility contract:
+// the same grid executed twice — even with different worker counts —
+// produces byte-identical CSV artifacts.
+func TestDeterministicCSV(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for i, workers := range []int{1, 7} {
+		sink, err := NewSink(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Workers: workers, Sink: sink}
+		r.Run(grid("det", 6, 3, nil))
+		r.Summarize("det", map[string]string{"n": "18"})
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"det.csv", "det.json"} {
+		a, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between identical runs:\n%s\n----\n%s", name, a, b)
+		}
+	}
+}
+
+func TestCSVLayout(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 2, Sink: sink}
+	pts := grid("layout", 2, 2, nil)
+	r.Run(pts)
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "layout.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1+len(pts) {
+		t.Fatalf("got %d lines, want header + %d rows:\n%s", len(lines), len(pts), data)
+	}
+	// Fixed columns, then sorted params, then sorted metrics.
+	if lines[0] != "experiment,workload,repeat,seed,axis,beta,count,perf" {
+		t.Fatalf("header %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		if !strings.HasPrefix(line, "layout,") {
+			t.Fatalf("row %d: %q", i, line)
+		}
+		if got := len(strings.Split(line, ",")); got != 8 {
+			t.Fatalf("row %d has %d cells: %q", i, got, line)
+		}
+	}
+}
+
+// TestSinkOverwritesPreviousRun checks that pointing -out at a previous
+// run's directory reproduces it rather than appending to it.
+func TestSinkOverwritesPreviousRun(t *testing.T) {
+	dir := t.TempDir()
+	var first []byte
+	for i := 0; i < 2; i++ {
+		sink, err := NewSink(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &Runner{Sink: sink}
+		r.Run(grid("redo", 3, 2, nil))
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "redo.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Fatalf("second run into same dir did not reproduce the first:\n%s\n----\n%s", first, data)
+		}
+	}
+}
+
+func TestTimestampedDirShape(t *testing.T) {
+	d := TimestampedDir("root")
+	base := filepath.Base(d)
+	if filepath.Dir(d) != "root" || !strings.HasPrefix(base, "run-") || len(base) != len("run-20060102-150405") {
+		t.Fatalf("unexpected dir %q", d)
+	}
+}

@@ -1,0 +1,166 @@
+// Artifact persistence for the sweep engine: CSV rows per run, JSON
+// summaries per experiment, and a run manifest, all under one output
+// directory (see EXPERIMENTS.md "Artifact layout").
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sink writes sweep artifacts into a single output directory. All
+// methods are safe for concurrent use; the first error encountered is
+// retained and reported by Err, so drivers can emit unconditionally and
+// callers check once at the end.
+type Sink struct {
+	dir string
+
+	mu      sync.Mutex
+	err     error
+	columns map[string][]string // experiment -> CSV header, fixed at first write
+}
+
+// NewSink creates (if needed) the output directory and returns a sink
+// writing into it.
+func NewSink(dir string) (*Sink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: create output dir: %w", err)
+	}
+	return &Sink{dir: dir, columns: map[string][]string{}}, nil
+}
+
+// TimestampedDir returns "<root>/run-YYYYMMDD-HHMMSS" for callers that
+// want a fresh timestamped run directory under a stable root.
+func TimestampedDir(root string) string {
+	return filepath.Join(root, "run-"+time.Now().Format("20060102-150405"))
+}
+
+// Dir returns the output directory.
+func (s *Sink) Dir() string { return s.dir }
+
+// Err returns the first error any write encountered, or nil.
+func (s *Sink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Sink) fail(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// AppendRows appends one CSV row per result to each result's
+// per-experiment CSV file (<experiment>.csv), creating the file with a
+// header on first use. Rows are written in slice order; the header —
+// experiment, workload, repeat, seed, sorted param keys, sorted metric
+// keys — is fixed by the experiment's first row. Values are formatted
+// with the shortest round-trip representation, so identical grids
+// reproduce identical bytes.
+func (s *Sink) AppendRows(results []Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	files := map[string]*os.File{}
+	defer func() {
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				s.fail(err)
+			}
+		}
+	}()
+	for i := range results {
+		r := &results[i]
+		cols, seen := s.columns[r.Experiment]
+		if !seen {
+			cols = append([]string{"experiment", "workload", "repeat", "seed"},
+				append(sortedKeys(r.Params), sortedKeys(r.Metrics)...)...)
+			s.columns[r.Experiment] = cols
+		}
+		f := files[r.Experiment]
+		if f == nil {
+			// The sink's first write to an experiment truncates any file
+			// left by a previous run into the same directory, so a
+			// repeated invocation reproduces artifacts byte for byte.
+			mode := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+			if !seen {
+				mode = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+			}
+			var err error
+			f, err = os.OpenFile(filepath.Join(s.dir, r.Experiment+".csv"), mode, 0o644)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			files[r.Experiment] = f
+			if !seen {
+				if _, err := f.WriteString(strings.Join(cols, ",") + "\n"); err != nil {
+					s.fail(err)
+					return
+				}
+			}
+		}
+		row := make([]string, 0, len(cols))
+		for _, c := range cols {
+			switch c {
+			case "experiment":
+				row = append(row, r.Experiment)
+			case "workload":
+				row = append(row, r.Workload)
+			case "repeat":
+				row = append(row, strconv.Itoa(r.Repeat))
+			case "seed":
+				row = append(row, strconv.FormatUint(r.Seed, 10))
+			default:
+				if v, ok := r.Params[c]; ok {
+					row = append(row, v)
+				} else {
+					row = append(row, strconv.FormatFloat(r.Metrics[c], 'g', -1, 64))
+				}
+			}
+		}
+		if _, err := f.WriteString(strings.Join(row, ",") + "\n"); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// WriteJSON writes <name>.json with the indented JSON encoding of v —
+// the per-experiment summary artifact, or the run manifest.
+func (s *Sink) WriteJSON(name string, v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.fail(os.WriteFile(filepath.Join(s.dir, name+".json"), append(data, '\n'), 0o644))
+}
+
+// Manifest records how a run was produced. It is the only artifact that
+// carries wall-clock state; CSVs and summaries stay byte-reproducible.
+type Manifest struct {
+	StartedAt   time.Time `json:"started_at"`
+	Command     string    `json:"command"`
+	Experiments []string  `json:"experiments"`
+	Workers     int       `json:"workers"`
+	Quick       bool      `json:"quick"`
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -57,6 +57,16 @@ func (s *Sample) Observe(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
+// Of returns a Sample over the given values — the aggregation
+// convenience the sweep engine's result processing uses.
+func Of(values ...float64) Sample {
+	var s Sample
+	for _, v := range values {
+		s.Observe(v)
+	}
+	return s
+}
+
 // N returns the number of observations.
 func (s *Sample) N() uint64 { return s.n }
 
