@@ -232,8 +232,8 @@ func BenchmarkRunnerGrid(b *testing.B) {
 			Workload:   "none",
 			Params:     map[string]string{"i": strconv.Itoa(i)},
 			Seed:       runner.PerturbSeed(1, i),
-			Run: func(seed uint64) map[string]float64 {
-				return map[string]float64{"perf": float64(seed)}
+			Run: func(seed uint64) runner.Metrics {
+				return runner.Metrics{Perf: float64(seed)}
 			},
 		}
 	}
@@ -245,6 +245,22 @@ func BenchmarkRunnerGrid(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(pts)), "points/op")
+}
+
+// BenchmarkRunOne measures the sweeps' unit of work end to end: build,
+// start and run the default speculative system for 100k cycles through
+// the facade's RunOne. BENCH_kernel.json tracks its ns/op and allocs/op
+// across PRs; CI runs it at short benchtime as a regression smoke.
+func BenchmarkRunOne(b *testing.B) {
+	cfg := DefaultConfig(DirectorySpec, OLTP)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunOne(cfg, 100_000)
+		if res.Instructions == 0 {
+			b.Fatal("no forward progress")
+		}
+	}
+	b.ReportMetric(100_000, "sim-cycles/op")
 }
 
 // BenchmarkSystemThroughput measures raw simulator speed: simulated

@@ -8,6 +8,7 @@
 //	sweep -exp reorder            # §5.3 reorder rates vs link bandwidth
 //	sweep -exp snoop              # §5.3 snooping recoveries
 //	sweep -exp buffers            # §5.3 interconnect buffer sweep
+//	sweep -exp scale64            # scaling study: 16 vs 64 nodes
 //	sweep -exp slowstart          # ablation A2
 //	sweep -exp deflection         # ablation A4
 //	sweep -exp reenable           # ablation A5
@@ -49,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, slowstart, deflection, reenable, checkpoint, all")
+		exp      = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, all")
 		quick    = flag.Bool("quick", false, "bench-sized parameters (faster, noisier)")
 		wlName   = flag.String("workload", "oltp", "workload for reorder/buffers/ablations")
 		parallel = flag.Int("parallel", 0, "worker-pool bound for grid execution (0 = GOMAXPROCS)")
@@ -144,6 +145,15 @@ func main() {
 			res := specsimp.BufferSweep(p, wl)
 			if !*asJSON {
 				fmt.Println(specsimp.BufferTable(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "scale64" {
+		run("scale64", "Scaling study: 4x4 vs 8x8 (64-node) machines, both Spec protocols", func() interface{} {
+			res := specsimp.ScaleSweep(p)
+			if !*asJSON {
+				fmt.Println(specsimp.ScaleTable(res))
 			}
 			return res
 		})

@@ -1,17 +1,20 @@
 // Command verify exhaustively explores message-delivery interleavings
-// of the directory protocol for small scenarios and checks every
+// of both coherence protocols for small scenarios and checks every
 // outcome — the verification-effort experiment behind the paper's whole
 // premise (§1: "engineers must allocate a disproportionate share of
 // their effort to ensure that rare corner-case events behave
 // correctly").
 //
-// For the speculative protocol it certifies framework feature (2)
+// For the speculative protocols it certifies framework feature (2)
 // within the explored bounds: every interleaving either completes with
-// intact invariants or stops at the single designated detection.
+// intact invariants or stops at the single designated detection — the
+// reordered-forward for the directory protocol (§3.1), the WB_AI corner
+// case for the snooping protocol (§3.2).
 //
 // Usage:
 //
-//	verify                     # run all scenarios on both variants
+//	verify                     # run all scenarios on both protocols and variants
+//	verify -protocol snoop     # just the snooping protocol
 //	verify -scenario race      # just the §3.1 writeback race
 //	verify -maxpaths 500000
 package main
@@ -25,6 +28,7 @@ import (
 
 	"specsimp/internal/coherence"
 	"specsimp/internal/directory"
+	"specsimp/internal/snoop"
 )
 
 type scenario struct {
@@ -81,55 +85,129 @@ func scenarios() []scenario {
 	}
 }
 
+// snoopScenarios are the snooping-protocol counterparts, explored over
+// the joint space of address-network arbitration and data delivery.
+func snoopScenarios() []struct {
+	name   string
+	script [][]snoop.SScriptOp
+} {
+	return []struct {
+		name   string
+		script [][]snoop.SScriptOp
+	}{
+		{
+			// The §3.2 corner: a writeback in flight while two foreign
+			// stores compete for the block.
+			name: "corner",
+			script: [][]snoop.SScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}},
+				1: {{Addr: blkA, Kind: coherence.Store}},
+				2: {{Addr: blkA, Kind: coherence.Store}},
+			},
+		},
+		{
+			// Read-share/invalidate without writebacks.
+			name: "share-invalidate",
+			script: [][]snoop.SScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
+				1: {{Addr: blkA, Kind: coherence.Load}},
+				2: {{Addr: blkA, Kind: coherence.Store}},
+			},
+		},
+		{
+			// Writeback racing a read.
+			name: "corner-gets",
+			script: [][]snoop.SScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}},
+				1: {{Addr: blkA, Kind: coherence.Load}},
+				2: {{Addr: blkA, Kind: coherence.Store}},
+			},
+		},
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verify: ")
 	var (
-		which    = flag.String("scenario", "all", "scenario: race, share-invalidate, upgrade-race, race-gets, all")
+		protocol = flag.String("protocol", "all", "protocol: directory, snoop, all")
+		which    = flag.String("scenario", "all", "scenario name, or all")
 		maxPaths = flag.Int("maxpaths", 200_000, "interleaving budget per (scenario, variant)")
 	)
 	flag.Parse()
 
 	failed := false
-	for _, sc := range scenarios() {
-		if *which != "all" && *which != sc.name {
-			continue
-		}
-		for _, v := range []directory.Variant{directory.Full, directory.Spec} {
-			start := time.Now()
-			res := directory.Explore(directory.ExploreConfig{
-				Variant:  v,
-				Nodes:    4,
-				Script:   sc.script,
-				MaxPaths: *maxPaths,
-			})
-			status := "OK"
-			if !res.Ok() {
-				status = "FAIL"
-				failed = true
+	if *protocol == "all" || *protocol == "directory" {
+		for _, sc := range scenarios() {
+			if *which != "all" && *which != sc.name {
+				continue
 			}
-			trunc := ""
-			if res.Truncated {
-				trunc = " (budget exhausted)"
-			}
-			fmt.Printf("%-18s %-5s %-4s %8d interleavings: %d completed, %d detected%s  [%.1fs]\n",
-				sc.name, v, status, res.Paths, res.Completed, res.Detected, trunc, time.Since(start).Seconds())
-			for i, viol := range res.Violations {
-				if i == 3 {
-					fmt.Printf("    ... %d more\n", len(res.Violations)-3)
-					break
+			for _, v := range []directory.Variant{directory.Full, directory.Spec} {
+				start := time.Now()
+				res := directory.Explore(directory.ExploreConfig{
+					Variant:  v,
+					Nodes:    4,
+					Script:   sc.script,
+					MaxPaths: *maxPaths,
+				})
+				report("directory", sc.name, fmt.Sprint(v), res.Paths, res.Completed,
+					res.Detected, res.Truncated, res.Violations, start, &failed)
+				if v == directory.Spec && res.Detected == 0 && (sc.name == "race" || sc.name == "race-gets") {
+					fmt.Println("    warning: race scenario never triggered detection")
 				}
-				fmt.Printf("    %s\n", viol)
 			}
-			if v == directory.Spec && res.Detected == 0 && (sc.name == "race" || sc.name == "race-gets") {
-				fmt.Println("    warning: race scenario never triggered detection")
+		}
+	}
+	if *protocol == "all" || *protocol == "snoop" {
+		for _, sc := range snoopScenarios() {
+			if *which != "all" && *which != sc.name {
+				continue
+			}
+			for _, v := range []snoop.Variant{snoop.Full, snoop.Spec} {
+				start := time.Now()
+				res := snoop.ExploreSnoop(snoop.SExploreConfig{
+					Variant:  v,
+					Nodes:    3,
+					Script:   sc.script,
+					MaxPaths: *maxPaths,
+				})
+				report("snoop", sc.name, fmt.Sprint(v), res.Paths, res.Completed,
+					res.Detected, res.Truncated, res.Violations, start, &failed)
+				if v == snoop.Spec && res.Detected == 0 && sc.name == "corner" {
+					fmt.Println("    warning: corner scenario never triggered detection")
+				}
+				if v == snoop.Full && res.CornerHandled > 0 {
+					fmt.Printf("    corner case absorbed by the specified transition on %d paths\n", res.CornerHandled)
+				}
 			}
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("\nEvery explored interleaving behaved correctly: the full protocol")
-	fmt.Println("never mis-speculates; the speculative protocol either completes or")
-	fmt.Println("detects at its single designated invalid transition (feature 2).")
+	fmt.Println("\nEvery explored interleaving behaved correctly: the full protocols")
+	fmt.Println("never mis-speculate; the speculative protocols either complete or")
+	fmt.Println("detect at their single designated invalid transition (feature 2).")
+}
+
+func report(proto, name, variant string, paths, completed, detected int, truncated bool,
+	violations []string, start time.Time, failed *bool) {
+	status := "OK"
+	if len(violations) > 0 {
+		status = "FAIL"
+		*failed = true
+	}
+	trunc := ""
+	if truncated {
+		trunc = " (budget exhausted)"
+	}
+	fmt.Printf("%-10s %-18s %-5s %-4s %8d interleavings: %d completed, %d detected%s  [%.1fs]\n",
+		proto, name, variant, status, paths, completed, detected, trunc, time.Since(start).Seconds())
+	for i, viol := range violations {
+		if i == 3 {
+			fmt.Printf("    ... %d more\n", len(violations)-3)
+			break
+		}
+		fmt.Printf("    %s\n", viol)
+	}
 }

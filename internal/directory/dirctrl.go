@@ -6,6 +6,7 @@ import (
 
 	"specsimp/internal/coherence"
 	"specsimp/internal/mem"
+	"specsimp/internal/pool"
 )
 
 // dirEntry is the stable directory state for one block. Busy (in-flight
@@ -36,6 +37,8 @@ type dirCtrl struct {
 	entries map[coherence.Addr]*dirEntry
 	busy    map[coherence.Addr]*busyInfo
 	queue   map[coherence.Addr][]coherence.Msg
+	// busyFree recycles busyInfo records across transactions.
+	busyFree pool.FreeList[busyInfo]
 }
 
 func (d *dirCtrl) entry(a coherence.Addr) *dirEntry {
@@ -94,7 +97,8 @@ func (d *dirCtrl) process(msg coherence.Msg) {
 	req := msg.From
 	// The transaction id is end-to-end: minted by the requestor and
 	// echoed through forwards, responses and the FinalAck.
-	b := &busyInfo{requestor: req, isGetM: msg.Kind == coherence.GetM, fwdTo: -1, tid: msg.TID}
+	b := d.busyFree.Get()
+	*b = busyInfo{requestor: req, isGetM: msg.Kind == coherence.GetM, fwdTo: -1, tid: msg.TID}
 
 	switch msg.Kind {
 	case coherence.GetS:
@@ -174,13 +178,11 @@ func (d *dirCtrl) handlePutM(msg coherence.Msg) {
 			// supplies the data itself and flags the WBAck so the owner
 			// knows a forward is still coming. The requestor tolerates
 			// the possible duplicate by transaction id.
-			d.p.after(d.p.cfg.DirLatency, func() {
-				d.p.send(coherence.Msg{
-					Kind: coherence.Data, Addr: a, From: d.node,
-					Requestor: b.requestor, Version: msg.Version,
-					AckCount: b.acks, TID: b.tid,
-				}, b.requestor)
-			})
+			d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
+				Kind: coherence.Data, Addr: a, From: d.node,
+				Requestor: b.requestor, Version: msg.Version,
+				AckCount: b.acks, TID: b.tid,
+			}, b.requestor)
 			d.sendWBAck(a, from, true, b.tid)
 		} else {
 			// Spec protocol: rely on point-to-point ordering — the
@@ -227,6 +229,7 @@ func (d *dirCtrl) handleFinalAck(msg coherence.Msg) {
 	d.logEntry(a)
 	*d.entry(a) = b.complete
 	delete(d.busy, a)
+	d.busyFree.Put(b)
 	// Drain the deferred queue: writebacks complete inline (they do not
 	// occupy the directory); the first request re-occupies it.
 	for {
@@ -254,43 +257,34 @@ func (d *dirCtrl) handleFinalAck(msg coherence.Msg) {
 
 func (d *dirCtrl) sendDataFromMem(a coherence.Addr, to coherence.NodeID, acks int, tid uint64) {
 	version := d.store.Read(a)
-	d.p.after(d.p.cfg.DirLatency+d.p.cfg.MemLatency, func() {
-		d.p.send(coherence.Msg{
-			Kind: coherence.Data, Addr: a, From: d.node,
-			Requestor: to, Version: version, AckCount: acks, TID: tid,
-		}, to)
-	})
+	d.p.sendAfter(d.p.cfg.DirLatency+d.p.cfg.MemLatency, coherence.Msg{
+		Kind: coherence.Data, Addr: a, From: d.node,
+		Requestor: to, Version: version, AckCount: acks, TID: tid,
+	}, to)
 }
 
 func (d *dirCtrl) fwd(kind coherence.MsgKind, a coherence.Addr, owner int, req coherence.NodeID, acks int, tid uint64) {
-	d.p.after(d.p.cfg.DirLatency, func() {
-		d.p.send(coherence.Msg{
-			Kind: kind, Addr: a, From: d.node,
-			Requestor: req, AckCount: acks, TID: tid,
-		}, coherence.NodeID(owner))
-	})
+	d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
+		Kind: kind, Addr: a, From: d.node,
+		Requestor: req, AckCount: acks, TID: tid,
+	}, coherence.NodeID(owner))
 }
 
 func (d *dirCtrl) sendInvs(a coherence.Addr, targets uint64, req coherence.NodeID) {
 	for n := 0; targets != 0; n++ {
 		if targets&1 != 0 {
-			n := n
-			d.p.after(d.p.cfg.DirLatency, func() {
-				d.p.send(coherence.Msg{
-					Kind: coherence.Inv, Addr: a, From: d.node, Requestor: req,
-				}, coherence.NodeID(n))
-			})
+			d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
+				Kind: coherence.Inv, Addr: a, From: d.node, Requestor: req,
+			}, coherence.NodeID(n))
 		}
 		targets >>= 1
 	}
 }
 
 func (d *dirCtrl) sendWBAck(a coherence.Addr, to coherence.NodeID, stale bool, tid uint64) {
-	d.p.after(d.p.cfg.DirLatency, func() {
-		d.p.send(coherence.Msg{
-			Kind: coherence.WBAck, Addr: a, From: d.node, Stale: stale, TID: tid,
-		}, to)
-	})
+	d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
+		Kind: coherence.WBAck, Addr: a, From: d.node, Stale: stale, TID: tid,
+	}, to)
 }
 
 func (d *dirCtrl) unspecifiedDir(s DState, e DEvent, msg coherence.Msg) {

@@ -28,6 +28,9 @@ func (f *testFabric) AttachClient(n network.NodeID, c network.Client) { f.client
 func (f *testFabric) NumNodes() int                                   { return f.nodes }
 
 func (f *testFabric) payload(m *network.Message) coherence.Msg {
+	if cm, ok := m.Payload.(*coherence.Msg); ok {
+		return *cm
+	}
 	return m.Payload.(coherence.Msg)
 }
 

@@ -7,6 +7,7 @@ import (
 	"specsimp/internal/coherence"
 	"specsimp/internal/mem"
 	"specsimp/internal/network"
+	"specsimp/internal/pool"
 	"specsimp/internal/sim"
 	"specsimp/internal/stats"
 )
@@ -87,6 +88,56 @@ type Protocol struct {
 
 	st    Stats
 	epoch uint64 // bumped on reset; invalidates scheduled closures
+
+	// cmsgFree recycles the heap-boxed coherence.Msg payloads that ride
+	// inside network messages: a payload returns here once its network
+	// message is consumed. Together with the fabric's own message free
+	// list this makes the steady-state send path allocation-free.
+	cmsgFree pool.FreeList[coherence.Msg]
+}
+
+// Typed-event opcodes, packed into the low bits of a0 beside the epoch.
+const (
+	dopSend = iota // a1 = destination node, p = *coherence.Msg
+	dopDone        // p = the processor completion callback
+)
+
+// HandleEvent implements sim.Handler for the protocol's delayed actions
+// (directory/cache response sends and processor completion callbacks).
+// Events scheduled before a recovery reset carry a stale epoch and are
+// dropped, exactly like the closure-based predecessor `after`.
+func (p *Protocol) HandleEvent(a0, a1 uint64, pay any) {
+	op := a0 & 3
+	if a0>>2 != p.epoch {
+		if op == dopSend {
+			p.putCM(pay.(*coherence.Msg))
+		}
+		return
+	}
+	switch op {
+	case dopSend:
+		p.sendPooled(pay.(*coherence.Msg), coherence.NodeID(a1))
+	case dopDone:
+		pay.(func())()
+	}
+}
+
+func (p *Protocol) getCM() *coherence.Msg   { return p.cmsgFree.Get() }
+func (p *Protocol) putCM(cm *coherence.Msg) { p.cmsgFree.Put(cm) }
+
+// sendAfter schedules m to be sent to `to` after d cycles without
+// allocating: the message is boxed once from the pool and the delay is a
+// typed kernel event. A recovery in the meantime drops it.
+func (p *Protocol) sendAfter(d sim.Time, m coherence.Msg, to coherence.NodeID) {
+	cm := p.getCM()
+	*cm = m
+	p.k.AfterEvent(d, p, p.epoch<<2|dopSend, uint64(to), cm)
+}
+
+// doneAfter schedules a processor completion callback after d cycles,
+// dropped on recovery (the restored processors re-issue).
+func (p *Protocol) doneAfter(d sim.Time, done func()) {
+	p.k.AfterEvent(d, p, p.epoch<<2|dopDone, 0, done)
 }
 
 // New builds the protocol over an existing network fabric; the fabric's
@@ -94,6 +145,11 @@ type Protocol struct {
 func New(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) *Protocol {
 	if cfg.Nodes != net.NumNodes() {
 		panic("directory: node count differs from network size")
+	}
+	if cfg.Nodes > 64 {
+		// The directory entry tracks sharers in one 64-bit mask; 64
+		// nodes (the 8×8 scaling design point) is the ceiling.
+		panic("directory: at most 64 nodes (sharer bitmaps)")
 	}
 	p := &Protocol{k: k, net: net, cfg: cfg, log: log}
 	p.caches = make([]*cacheCtrl, cfg.Nodes)
@@ -163,6 +219,7 @@ func (p *Protocol) ResetTransients() {
 	for _, c := range p.caches {
 		c.flushPendingRestores()
 		c.req = nil
+		c.reqStore.done = nil // drop the callback reference with the TBE
 		c.wb = nil
 		c.parked = nil
 		c.servedStable = make(map[coherence.Addr]uint64)
@@ -222,30 +279,51 @@ func (p *Protocol) misSpeculate(reason string) {
 }
 
 func (p *Protocol) send(m coherence.Msg, to coherence.NodeID) {
-	p.net.Send(&network.Message{
-		Src:     network.NodeID(m.From),
-		Dst:     network.NodeID(to),
-		VNet:    coherence.VNetOf(m.Kind),
-		Size:    coherence.SizeOf(m.Kind),
-		Payload: m,
-	})
+	cm := p.getCM()
+	*cm = m
+	p.sendPooled(cm, to)
+}
+
+// sendPooled injects a pool-boxed payload; ownership of cm passes to the
+// network until the destination consumes it (deliver returns it to the
+// pool) or a recovery drops it (the box is simply garbage collected and
+// the pool refills).
+func (p *Protocol) sendPooled(cm *coherence.Msg, to coherence.NodeID) {
+	nm := network.Alloc(p.net)
+	nm.Src = network.NodeID(cm.From)
+	nm.Dst = network.NodeID(to)
+	nm.VNet = coherence.VNetOf(cm.Kind)
+	nm.Size = coherence.SizeOf(cm.Kind)
+	nm.Payload = cm
+	p.net.Send(nm)
 }
 
 // deliver dispatches an incoming network message to the node's cache or
 // directory controller. It returns false if the message cannot be
 // consumed yet (resource back-pressure; the network retries on Kick).
 func (p *Protocol) deliver(node coherence.NodeID, nm *network.Message) bool {
-	msg, ok := nm.Payload.(coherence.Msg)
-	if !ok {
+	var msg coherence.Msg
+	cm, pooled := nm.Payload.(*coherence.Msg)
+	if pooled {
+		msg = *cm
+	} else if v, ok := nm.Payload.(coherence.Msg); ok {
+		// Scripted fabrics and tests may inject plain value payloads.
+		msg = v
+	} else {
 		panic(fmt.Sprintf("directory: foreign payload %T", nm.Payload))
 	}
+	var consumed bool
 	switch msg.Kind {
 	case coherence.GetS, coherence.GetM, coherence.PutM, coherence.FinalAck:
 		p.dirs[node].handle(msg)
-		return true
+		consumed = true
 	default:
-		return p.caches[node].handle(msg)
+		consumed = p.caches[node].handle(msg)
 	}
+	if consumed && pooled {
+		p.putCM(cm)
+	}
+	return consumed
 }
 
 // Access performs one processor memory reference at node. done runs at
@@ -312,6 +390,12 @@ type cacheCtrl struct {
 	// ahead of its replacement's); they are flushed once the undo pass
 	// completes, when checkpoint occupancy guarantees free frames.
 	pendingRestore map[coherence.Addr]restoredLine
+
+	// reqStore and wbStore back req and wb: the controller has at most
+	// one of each outstanding, so the TBEs are reused in place instead
+	// of allocated per transaction.
+	reqStore reqTBE
+	wbStore  wbTBE
 }
 
 type restoredLine struct {
@@ -406,7 +490,7 @@ func (c *cacheCtrl) access(addr coherence.Addr, kind coherence.AccessType, done 
 				c.logLine(addr)
 				line.Version++
 			}
-			c.p.after(lat, done)
+			c.p.doneAfter(lat, done)
 			return
 		}
 		// Store to S or O: upgrade.
@@ -435,10 +519,11 @@ func (c *cacheCtrl) startRequest(addr coherence.Addr, kind coherence.MsgKind, st
 	c.p.st.Transactions.Inc()
 	c.tidNext++
 	tid := uint64(c.node)<<48 | c.tidNext
-	c.req = &reqTBE{
+	c.reqStore = reqTBE{
 		addr: addr, state: st, isStore: isStore,
 		acksNeeded: -1, tid: tid, start: c.p.k.Now(), done: done,
 	}
+	c.req = &c.reqStore
 	c.p.send(coherence.Msg{Kind: kind, Addr: addr, From: c.node, Requestor: c.node, TID: tid}, c.p.Home(addr))
 }
 
@@ -575,9 +660,10 @@ func (c *cacheCtrl) finishRequest() {
 	c.p.send(coherence.Msg{Kind: coherence.FinalAck, Addr: t.addr, From: c.node, TID: t.tid}, c.p.Home(t.addr))
 	c.p.st.MissLatency.Observe(uint64(c.p.k.Now() - t.start))
 	done := t.done
+	t.done = nil
 	c.req = nil
 	if done != nil {
-		c.p.after(0, done)
+		c.p.doneAfter(0, done)
 	}
 }
 
@@ -615,7 +701,14 @@ func (c *cacheCtrl) startWriteback(v *cache.Line) {
 	c.logLine(addr)
 	c.l1.Invalidate(addr)
 	v.Valid = false
-	c.wb = &wbTBE{addr: addr, state: CWBa, version: ver, served: make(map[uint64]bool), start: c.p.k.Now()}
+	served := c.wbStore.served
+	if served == nil {
+		served = make(map[uint64]bool)
+	} else {
+		clear(served)
+	}
+	c.wbStore = wbTBE{addr: addr, state: CWBa, version: ver, served: served, start: c.p.k.Now()}
+	c.wb = &c.wbStore
 	if tid, ok := c.servedStable[addr]; ok {
 		c.wb.served[tid] = true
 		delete(c.servedStable, addr)
@@ -684,13 +777,11 @@ func (c *cacheCtrl) handleFwd(msg coherence.Msg) {
 		ev = EvFwdGetM
 	}
 	sendData := func(version uint64) {
-		c.p.after(c.p.cfg.L2Latency, func() {
-			c.p.send(coherence.Msg{
-				Kind: coherence.Data, Addr: msg.Addr, From: c.node,
-				Requestor: msg.Requestor, Version: version,
-				AckCount: msg.AckCount, TID: msg.TID,
-			}, msg.Requestor)
-		})
+		c.p.sendAfter(c.p.cfg.L2Latency, coherence.Msg{
+			Kind: coherence.Data, Addr: msg.Addr, From: c.node,
+			Requestor: msg.Requestor, Version: version,
+			AckCount: msg.AckCount, TID: msg.TID,
+		}, msg.Requestor)
 	}
 
 	// Writeback in flight: the TBE is still the owner (WB_A).

@@ -112,7 +112,7 @@ func sysPoint(exp string, cfg system.Config, cycles sim.Time, params map[string]
 		Params:     params,
 		Repeat:     repeat,
 		Seed:       runner.PerturbSeed(cfg.Seed, repeat),
-		Run: func(seed uint64) map[string]float64 {
+		Run: func(seed uint64) runner.Metrics {
 			c := cfg
 			c.Seed = seed
 			return metricsFrom(system.RunOne(c, cycles))
@@ -130,35 +130,31 @@ func repeats(pts []runner.Point, exp string, cfg system.Config, p Params, params
 
 // metricsFrom flattens a run's Results into the fixed metric schema
 // shared by every experiment's CSV artifact.
-func metricsFrom(r system.Results) map[string]float64 {
-	m := map[string]float64{
-		"perf":                 r.Perf,
-		"cycles":               float64(r.Cycles),
-		"instructions":         float64(r.Instructions),
-		"recoveries":           float64(r.Recoveries),
-		"checkpoints":          float64(r.Checkpoints),
-		"checkpoint_stall":     float64(r.CheckpointStall),
-		"mean_lost_work":       r.MeanLostWork,
-		"mean_link_util":       r.MeanLinkUtil,
-		"reorder_total":        r.TotalReorderRate,
-		"deflections":          float64(r.Deflections),
-		"timeouts":             float64(r.Timeouts),
-		"corner_detected":      float64(r.CornerDetected),
-		"corner_handled":       float64(r.CornerHandled),
-		"log_high_water_bytes": float64(r.LogHighWaterBytes),
-		"writebacks":           float64(r.Writebacks),
-		"wb_races":             float64(r.WBRaces),
-		"transactions":         float64(r.Transactions),
-		"miss_latency_mean":    r.MissLatencyMean,
-		"limit_stalls":         float64(r.LimitStalls),
-		"order_violations":     float64(r.OrderViolations),
+func metricsFrom(r system.Results) runner.Metrics {
+	m := runner.Metrics{
+		Perf:              r.Perf,
+		Cycles:            float64(r.Cycles),
+		Instructions:      float64(r.Instructions),
+		Recoveries:        float64(r.Recoveries),
+		Checkpoints:       float64(r.Checkpoints),
+		CheckpointStall:   float64(r.CheckpointStall),
+		MeanLostWork:      r.MeanLostWork,
+		MeanLinkUtil:      r.MeanLinkUtil,
+		ReorderTotal:      r.TotalReorderRate,
+		Deflections:       float64(r.Deflections),
+		Timeouts:          float64(r.Timeouts),
+		CornerDetected:    float64(r.CornerDetected),
+		CornerHandled:     float64(r.CornerHandled),
+		LogHighWaterBytes: float64(r.LogHighWaterBytes),
+		Writebacks:        float64(r.Writebacks),
+		WBRaces:           float64(r.WBRaces),
+		Transactions:      float64(r.Transactions),
+		MissLatencyMean:   r.MissLatencyMean,
+		LimitStalls:       float64(r.LimitStalls),
+		OrderViolations:   float64(r.OrderViolations),
 	}
-	for v := 0; v < 4; v++ {
-		rate := 0.0
-		if v < len(r.ReorderRatePerVNet) {
-			rate = r.ReorderRatePerVNet[v]
-		}
-		m["reorder_vnet"+strconv.Itoa(v)] = rate
+	for v := 0; v < 4 && v < len(r.ReorderRatePerVNet); v++ {
+		m.ReorderVNet[v] = r.ReorderRatePerVNet[v]
 	}
 	return m
 }
@@ -168,7 +164,7 @@ func metricsFrom(r system.Results) map[string]float64 {
 func sampleOf(res []runner.Result, i0, n int, key string) *stats.Sample {
 	vals := make([]float64, n)
 	for j := 0; j < n; j++ {
-		vals[j] = res[i0+j].Metrics[key]
+		vals[j] = res[i0+j].Metrics.Get(key)
 	}
 	s := stats.Of(vals...)
 	return &s
@@ -509,6 +505,102 @@ func BufferTable(results []BufferResult) string {
 		t.AddRow(name, r.Perf.String(),
 			fmt.Sprintf("%.2f", r.Recoveries),
 			fmt.Sprintf("%.2f", r.Timeouts))
+	}
+	return t.String()
+}
+
+// ---- scaling study: the 64-node machine ----
+
+// ScaleResult is one (kind, geometry, workload) cell of the scaling
+// study: both speculatively simplified protocols run on the paper's 4×4
+// target machine and on an 8×8 (64-node) machine.
+type ScaleResult struct {
+	Kind     string
+	Workload string
+	Width    int
+	Height   int
+	// Perf is absolute aggregate IPC; PerfVs4x4 normalizes it to the
+	// same kind and workload at the 4×4 geometry.
+	Perf       Cell
+	PerfVs4x4  Cell
+	Recoveries float64
+	// MissLatency is the mean coherence miss latency in cycles — the
+	// quantity the torus diameter stretches.
+	MissLatency  float64
+	MeanLinkUtil float64
+}
+
+// ScaleGeometries are the scaling design points: the paper's target
+// machine and the 64-node stress geometry.
+var ScaleGeometries = [][2]int{{4, 4}, {8, 8}}
+
+// scaleKinds are the scaled systems: both speculatively simplified
+// variants (the paper's proposal is exactly that these stay correct and
+// fast as the machine grows).
+var scaleKinds = []system.Kind{system.DirectorySpec, system.SnoopSpec}
+
+// ScaleSweep runs the 64-node scaling study. The directory system keeps
+// its adaptive full-buffered network (deadlock-free, so the watchdog
+// stays off as in Fig5); the snooping system's bus delivery latency
+// scales with the torus diameter (ScaledBusConfig).
+func ScaleSweep(p Params) []ScaleResult {
+	var pts []runner.Point
+	for _, kind := range scaleKinds {
+		for _, wl := range p.Workloads {
+			for _, g := range ScaleGeometries {
+				cfg := system.DefaultConfigSized(kind, wl, g[0], g[1])
+				cfg.CheckpointInterval = p.CheckpointInterval
+				cfg.CyclesPerSecond = p.CyclesPerSecond
+				cfg.TimeoutCycles = 0
+				pts = repeats(pts, "scale64", cfg, p, map[string]string{
+					"kind": kind.String(),
+					"geom": fmt.Sprintf("%dx%d", g[0], g[1]),
+				})
+			}
+		}
+	}
+	ex := p.exec()
+	res := ex.Run(pts)
+
+	out := make([]ScaleResult, 0, len(scaleKinds)*len(p.Workloads)*len(ScaleGeometries))
+	i := 0
+	for _, kind := range scaleKinds {
+		for _, wl := range p.Workloads {
+			var base float64
+			for gi, g := range ScaleGeometries {
+				perf := sampleOf(res, i, p.Runs, "perf")
+				if gi == 0 {
+					base = perf.Mean()
+				}
+				out = append(out, ScaleResult{
+					Kind:         kind.String(),
+					Workload:     wl.Name,
+					Width:        g[0],
+					Height:       g[1],
+					Perf:         Cell{perf.Mean(), perf.StdDev()},
+					PerfVs4x4:    cell(perf, base),
+					Recoveries:   sampleOf(res, i, p.Runs, "recoveries").Mean(),
+					MissLatency:  sampleOf(res, i, p.Runs, "miss_latency_mean").Mean(),
+					MeanLinkUtil: sampleOf(res, i, p.Runs, "mean_link_util").Mean(),
+				})
+				i += p.Runs
+			}
+		}
+	}
+	ex.Summarize("scale64", out)
+	return out
+}
+
+// ScaleTable renders the scaling study.
+func ScaleTable(results []ScaleResult) string {
+	t := stats.NewTable("system", "workload", "geometry", "IPC", "vs 4x4", "recoveries", "miss latency", "link util")
+	for _, r := range results {
+		t.AddRow(r.Kind, r.Workload,
+			fmt.Sprintf("%dx%d (%d nodes)", r.Width, r.Height, r.Width*r.Height),
+			r.Perf.String(), r.PerfVs4x4.String(),
+			fmt.Sprintf("%.2f", r.Recoveries),
+			fmt.Sprintf("%.1f", r.MissLatency),
+			fmt.Sprintf("%.1f%%", 100*r.MeanLinkUtil))
 	}
 	return t.String()
 }

@@ -137,6 +137,56 @@ func TestBufferSweepDriver(t *testing.T) {
 	}
 }
 
+// TestScaleSweepDriver covers the 64-node scaling study: both Spec
+// protocols build and run at 8×8, and — the acceptance property — the
+// sweep's CSV artifacts are byte-identical across worker-pool sizes.
+func TestScaleSweepDriver(t *testing.T) {
+	p := tiny()
+	p.Cycles = 60_000
+	p.Runs = 1
+	p.Workloads = []workload.Profile{workload.Uniform}
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var results [2][]ScaleResult
+	for i, workers := range []int{1, 4} {
+		sink, err := runner.NewSink(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Exec = &runner.Runner{Workers: workers, Sink: sink}
+		results[i] = ScaleSweep(p)
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := results[0]
+	wantRows := len(ScaleGeometries) * 2 // two kinds, one workload
+	if len(res) != wantRows {
+		t.Fatalf("results=%d, want %d", len(res), wantRows)
+	}
+	for _, r := range res {
+		if r.Width*r.Height == 64 && r.Perf.Mean <= 0 {
+			t.Errorf("%s/%s at %dx%d made no progress", r.Kind, r.Workload, r.Width, r.Height)
+		}
+		if r.Recoveries > 0 {
+			t.Errorf("%s/%s at %dx%d recovered %.1f times on a race-free configuration",
+				r.Kind, r.Workload, r.Width, r.Height, r.Recoveries)
+		}
+	}
+	for _, name := range []string{"scale64.csv", "scale64.json"} {
+		a, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s not byte-reproducible across -parallel settings", name)
+		}
+	}
+}
+
 func TestSlowStartAblationDriver(t *testing.T) {
 	p := tiny()
 	res := SlowStartAblation(p, workload.Hotspot, []int{1, 4})

@@ -150,6 +150,10 @@ func (c Config) Validate() error {
 		return errConfig("VNets must be at least 1")
 	case c.BufferSize < 0 || c.EndpointBufferSize < 0:
 		return errConfig("buffer sizes must be non-negative")
+	case numPorts*c.classes() > 64:
+		// Switch arbitration tracks queue occupancy in one 64-bit
+		// bitmap: five ports times at most twelve buffer classes.
+		return errConfig("VNets*VCsPerVNet must be at most 12")
 	}
 	return nil
 }

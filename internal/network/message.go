@@ -27,8 +27,9 @@ type Message struct {
 	// Hops counts switch-to-switch traversals.
 	Hops int
 
-	vc      int // current virtual channel
-	dimHint int // dimension of previous hop, for dateline VC resets
+	vc      int  // current virtual channel
+	dimHint int  // dimension of previous hop, for dateline VC resets
+	pooled  bool // minted by Network.AllocMessage; recycled after consumption
 }
 
 func (m *Message) String() string {
@@ -47,6 +48,26 @@ type Fabric interface {
 	AttachClient(node NodeID, c Client)
 	// NumNodes returns the endpoint count.
 	NumNodes() int
+}
+
+// MessageAllocator is implemented by fabrics that recycle message
+// structs through a free list (*Network does). Senders that use Alloc
+// avoid one allocation per message; the fabric reclaims the struct when
+// the destination client consumes it or a recovery drops it, so callers
+// must not retain the pointer past delivery.
+type MessageAllocator interface {
+	AllocMessage() *Message
+}
+
+// Alloc returns a message from f's free list when f recycles messages,
+// or a fresh message otherwise. The hot-path senders (the coherence
+// protocols) allocate through this so that scripted test fabrics keep
+// working unchanged.
+func Alloc(f Fabric) *Message {
+	if a, ok := f.(MessageAllocator); ok {
+		return a.AllocMessage()
+	}
+	return &Message{}
 }
 
 // Client consumes messages delivered to a node. Deliver is offered the

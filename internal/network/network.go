@@ -3,12 +3,21 @@ package network
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
+	"specsimp/internal/pool"
 	"specsimp/internal/sim"
 	"specsimp/internal/stats"
 )
 
 // Network is a 2D torus interconnect bound to a simulation kernel.
+//
+// The hot path — switch arbitration, hop forwarding, endpoint ejection —
+// is allocation-free in steady state: messages come from a free list
+// (AllocMessage) and return to it on consumption or drop, input queues
+// are reusable ring buffers, arbitration scans an occupancy bitmap
+// instead of every (port, class) queue, and all recurring work is
+// scheduled as typed kernel events rather than closures.
 type Network struct {
 	k   *sim.Kernel
 	cfg Config
@@ -28,8 +37,16 @@ type Network struct {
 	adaptiveDisabled bool
 	epoch            uint64 // bumped by Reset to invalidate in-flight arrivals
 
+	// free recycles message structs allocated via AllocMessage. Messages
+	// return here when consumed by a client or dropped by a recovery
+	// Reset; messages the caller allocated itself are never recycled.
+	free pool.FreeList[Message]
+
 	// TraceFn, when non-nil, receives one event per message lifecycle
-	// step. Used by examples/reorder to reproduce Figure 1.
+	// step. Used by examples/reorder to reproduce Figure 1. Trace
+	// consumers must not retain Msg pointers past the callback when the
+	// sender uses pooled messages (AllocMessage): the struct is recycled
+	// after consumption.
 	TraceFn func(TraceEvent)
 
 	// PerturbFn, when non-nil, returns an extra injection delay for a
@@ -93,22 +110,75 @@ func (s *NetStats) MeanLinkUtilization(now sim.Time) float64 {
 	return sum / float64(n)
 }
 
-type fifo []*Message
+// fifo is a reusable ring-buffer queue of messages: push, pop and head
+// are O(1) and steady-state operation performs no allocation (capacity
+// is retained across Reset).
+type fifo struct {
+	buf  []*Message
+	head int
+	n    int
+}
 
-func (f *fifo) push(m *Message) { *f = append(*f, m) }
+func (f *fifo) len() int { return f.n }
+
+func (f *fifo) push(m *Message) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = m
+	f.n++
+}
+
+func (f *fifo) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]*Message, size)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf = nb
+	f.head = 0
+}
+
 func (f *fifo) pop() *Message {
-	m := (*f)[0]
-	copy(*f, (*f)[1:])
-	(*f)[len(*f)-1] = nil
-	*f = (*f)[:len(*f)-1]
+	m := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
 	return m
 }
-func (f fifo) head() *Message {
-	if len(f) == 0 {
+
+func (f *fifo) head0() *Message {
+	if f.n == 0 {
 		return nil
 	}
-	return f[0]
+	return f.buf[f.head]
 }
+
+// at returns the i-th queued message (0 = head) without removing it.
+func (f *fifo) at(i int) *Message {
+	return f.buf[(f.head+i)&(len(f.buf)-1)]
+}
+
+// reset empties the queue, releasing message references but keeping the
+// ring storage for reuse.
+func (f *fifo) reset() {
+	clear(f.buf)
+	f.head, f.n = 0, 0
+}
+
+// Typed-event opcodes (the a0 argument of sim.Handler events).
+const (
+	swOpArb = iota
+	swOpRetry
+	swOpArrive
+	epOpConsume
+	epOpRetry
+	netOpLoopback
+	netOpInject
+)
 
 type swch struct {
 	n    *Network
@@ -116,6 +186,10 @@ type swch struct {
 	// in[port][class] are input buffers. The Local port is the
 	// injection queue (unbounded: protocol-level MSHRs throttle it).
 	in [numPorts][]fifo
+	// occ has one bit per (port, class) input queue, set while the
+	// queue is nonempty; arbitration iterates set bits only. Config
+	// validation caps numPorts*classes at 64.
+	occ uint64
 	// outBusy[dir] is when the outgoing link in dir frees.
 	outBusy [numPorts]sim.Time
 	// credits[dir][class] is free space in the downstream input buffer;
@@ -220,6 +294,50 @@ func (n *Network) InFlight() int {
 	return int(n.st.Sent.Value() - n.st.Consumed.Value() - n.st.Dropped.Value())
 }
 
+// AllocMessage returns a zeroed message from the network's free list
+// (implementing MessageAllocator). Messages obtained here are recycled
+// automatically once consumed by the destination client or dropped by a
+// recovery Reset; callers must not retain them past that point.
+func (n *Network) AllocMessage() *Message {
+	m := n.free.Get()
+	*m = Message{pooled: true}
+	return m
+}
+
+// releaseMsg returns a pooled message to the free list. Messages not
+// minted by AllocMessage pass through untouched.
+func (n *Network) releaseMsg(m *Message) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false // guards against double release
+	m.Payload = nil
+	n.free.Put(m)
+}
+
+// HandleEvent implements sim.Handler for network-level typed events
+// (delayed injections and loopback arrivals).
+func (n *Network) HandleEvent(a0, a1 uint64, p any) {
+	m := p.(*Message)
+	if a1 != n.epoch {
+		n.st.Dropped.Inc()
+		n.releaseMsg(m)
+		return
+	}
+	switch a0 {
+	case netOpLoopback:
+		n.arriveLocal(m)
+	case netOpInject:
+		n.inject(m)
+	}
+}
+
+func (n *Network) inject(m *Message) {
+	s := n.sw[m.Src]
+	s.pushIn(Local, n.cfg.classOf(m.VNet, 0), m)
+	s.scheduleArb()
+}
+
 // Send injects m at its source. VNet out of range or equal src/dst
 // without a size are programming errors and panic.
 func (n *Network) Send(m *Message) {
@@ -243,33 +361,14 @@ func (n *Network) Send(m *Message) {
 	}
 	if m.Src == m.Dst {
 		// Loopback: bypass the switch fabric, pay propagation only.
-		epoch := n.epoch
-		n.k.After(n.cfg.PropDelay+jitter, func() {
-			if n.epoch != epoch {
-				n.st.Dropped.Inc()
-				return
-			}
-			n.arriveLocal(m)
-		})
+		n.k.AfterEvent(n.cfg.PropDelay+jitter, n, netOpLoopback, n.epoch, m)
 		return
-	}
-	inject := func() {
-		s := n.sw[m.Src]
-		s.in[Local][n.cfg.classOf(m.VNet, 0)].push(m)
-		s.scheduleArb()
 	}
 	if jitter == 0 {
-		inject()
+		n.inject(m)
 		return
 	}
-	epoch := n.epoch
-	n.k.After(jitter, func() {
-		if n.epoch != epoch {
-			n.st.Dropped.Inc()
-			return
-		}
-		inject()
-	})
+	n.k.AfterEvent(jitter, n, netOpInject, n.epoch, m)
 }
 
 // CtrlBytesDefault is the assumed size for messages injected without one.
@@ -287,10 +386,15 @@ func (n *Network) Reset() {
 	for _, s := range n.sw {
 		for p := 0; p < numPorts; p++ {
 			for c := range s.in[p] {
-				n.st.Dropped.Add(uint64(len(s.in[p][c])))
-				s.in[p][c] = nil
+				q := &s.in[p][c]
+				for i := 0; i < q.len(); i++ {
+					n.releaseMsg(q.at(i))
+				}
+				n.st.Dropped.Add(uint64(q.len()))
+				q.reset()
 			}
 		}
+		s.occ = 0
 		s.poolUsed = 0
 		for d := North; d <= West; d++ {
 			for c := range s.credits[d] {
@@ -307,8 +411,12 @@ func (n *Network) Reset() {
 	}
 	for _, e := range n.ep {
 		for c := range e.ingress {
-			n.st.Dropped.Add(uint64(len(e.ingress[c])))
-			e.ingress[c] = nil
+			q := &e.ingress[c]
+			for i := 0; i < q.len(); i++ {
+				n.releaseMsg(q.at(i))
+			}
+			n.st.Dropped.Add(uint64(q.len()))
+			q.reset()
 		}
 	}
 	// Sequence spaces restart: post-recovery traffic is a fresh stream.
@@ -338,24 +446,54 @@ func (n *Network) serLatency(size int) sim.Time {
 
 // ---- switch ----
 
+// HandleEvent implements sim.Handler for switch-level typed events:
+// arbitration passes, timed arbitration retries, and hop arrivals.
+func (s *swch) HandleEvent(a0, a1 uint64, p any) {
+	switch a0 {
+	case swOpArb:
+		s.arb()
+	case swOpRetry:
+		// Timed retry for link-busy blocking; cheap duplicate events are
+		// tolerated (arb is idempotent).
+		s.scheduleArb()
+	case swOpArrive:
+		m := p.(*Message)
+		if a1>>8 != s.n.epoch {
+			s.n.st.Dropped.Inc()
+			s.n.releaseMsg(m)
+			return
+		}
+		s.pushIn(int(a1&0xff), s.n.cfg.classOf(m.VNet, m.vc), m)
+		s.scheduleArb()
+	}
+}
+
+func (s *swch) pushIn(port, class int, m *Message) {
+	s.in[port][class].push(m)
+	s.occ |= 1 << uint(port*s.n.cfg.classes()+class)
+}
+
+// popIn removes the head of the (port, class) queue, maintaining the
+// occupancy bitmap.
+func (s *swch) popIn(port, class int) *Message {
+	q := &s.in[port][class]
+	m := q.pop()
+	if q.len() == 0 {
+		s.occ &^= 1 << uint(port*s.n.cfg.classes()+class)
+	}
+	return m
+}
+
 func (s *swch) scheduleArb() {
 	if s.arbPending {
 		return
 	}
 	s.arbPending = true
-	s.n.k.After(0, s.arb)
+	s.n.k.AfterEvent(0, s, swOpArb, 0, nil)
 }
 
 func (s *swch) scheduleArbAt(t sim.Time) {
-	// Timed retry for link-busy blocking; cheap duplicate events are
-	// tolerated (arb is idempotent).
-	n := s.n
-	s.n.k.At(t, func() {
-		if !s.arbPending {
-			s.arbPending = true
-			n.k.After(0, s.arb)
-		}
-	})
+	s.n.k.AtEvent(t, s, swOpRetry, 0, nil)
 }
 
 func (s *swch) arb() {
@@ -367,38 +505,43 @@ func (s *swch) arb() {
 	progressed := false
 	var retryAt sim.Time = sim.Forever
 
-	for i := 0; i < total; i++ {
-		idx := (s.rr + i) % total
-		port := idx / classes
-		class := idx % classes
-		q := &s.in[port][class]
-		m := q.head()
-		if m == nil {
-			continue
-		}
-		if m.Dst == s.node {
-			// Eject to the local endpoint.
-			ep := n.ep[s.node]
-			if !ep.hasSpace(n.cfg.classOf(m.VNet, 0)) {
-				continue // ingress full; endpoint consume will re-arb
+	// One pass over every currently nonempty input queue in round-robin
+	// order starting at s.rr. The occupancy snapshot is safe: only this
+	// switch's own pops shrink these queues, and each queue is visited
+	// at most once per pass.
+	hi := s.occ &^ (1<<uint(s.rr) - 1)
+	lo := s.occ & (1<<uint(s.rr) - 1)
+	for _, set := range [2]uint64{hi, lo} {
+		for set != 0 {
+			idx := bits.TrailingZeros64(set)
+			set &= set - 1
+			port := idx / classes
+			class := idx % classes
+			m := s.in[port][class].head0()
+			if m.Dst == s.node {
+				// Eject to the local endpoint.
+				ep := n.ep[s.node]
+				if !ep.hasSpace(n.cfg.classOf(m.VNet, 0)) {
+					continue // ingress full; endpoint consume will re-arb
+				}
+				s.popIn(port, class)
+				s.returnCredit(port, class)
+				n.arriveLocal(m)
+				progressed = true
+				continue
 			}
-			q.pop()
+			dir, ok, busyUntil := s.pickOutput(m)
+			if !ok {
+				if busyUntil > now && busyUntil < retryAt {
+					retryAt = busyUntil
+				}
+				continue
+			}
+			s.popIn(port, class)
 			s.returnCredit(port, class)
-			n.arriveLocal(m)
+			s.forward(m, dir)
 			progressed = true
-			continue
 		}
-		dir, ok, busyUntil := s.pickOutput(m)
-		if !ok {
-			if busyUntil > now && busyUntil < retryAt {
-				retryAt = busyUntil
-			}
-			continue
-		}
-		q.pop()
-		s.returnCredit(port, class)
-		s.forward(m, dir)
-		progressed = true
 	}
 	if progressed {
 		s.rr = (s.rr + 1) % total
@@ -437,7 +580,8 @@ func (s *swch) pickOutput(m *Message) (dir int, ok bool, busyUntil sim.Time) {
 	// Adaptive: among productive directions with credit, prefer a free
 	// link with the least-occupied downstream input, deterministic
 	// tie-break by candidate order.
-	cands := n.t.productive(s.node, m.Dst)
+	var dirBuf [4]int
+	cands := n.t.productiveInto(s.node, m.Dst, &dirBuf)
 	best := -1
 	bestOcc := 1 << 30
 	minBusy := sim.Forever
@@ -502,8 +646,8 @@ func (n *Network) downstreamOccupancy(from NodeID, dir int) int {
 	nb := n.t.neighbor(from, dir)
 	p := opposite(dir)
 	occ := 0
-	for _, q := range n.sw[nb].in[p] {
-		occ += len(q)
+	for c := range n.sw[nb].in[p] {
+		occ += n.sw[nb].in[p][c].len()
 	}
 	return occ
 }
@@ -563,16 +707,8 @@ func (s *swch) forward(m *Message, dir int) {
 
 	dst := n.t.neighbor(s.node, dir)
 	inPort := opposite(dir)
-	epoch := n.epoch
-	n.k.After(ser+n.cfg.PropDelay, func() {
-		if n.epoch != epoch {
-			n.st.Dropped.Inc()
-			return
-		}
-		r := n.sw[dst]
-		r.in[inPort][n.cfg.classOf(m.VNet, m.vc)].push(m)
-		r.scheduleArb()
-	})
+	n.k.AfterEvent(ser+n.cfg.PropDelay, n.sw[dst], swOpArrive,
+		n.epoch<<8|uint64(inPort), m)
 }
 
 // returnCredit frees the input slot the message occupied and wakes the
@@ -624,7 +760,18 @@ func (e *endpoint) hasSpace(class int) bool {
 	if e.n.cfg.EndpointBufferSize == 0 {
 		return true
 	}
-	return len(e.ingress[class]) < e.n.cfg.EndpointBufferSize
+	return e.ingress[class].len() < e.n.cfg.EndpointBufferSize
+}
+
+// HandleEvent implements sim.Handler for endpoint-level typed events.
+func (e *endpoint) HandleEvent(a0, _ uint64, _ any) {
+	switch a0 {
+	case epOpConsume:
+		e.consumePending = false
+		e.consume()
+	case epOpRetry:
+		e.scheduleConsume()
+	}
 }
 
 func (e *endpoint) scheduleConsume() {
@@ -632,11 +779,10 @@ func (e *endpoint) scheduleConsume() {
 		return
 	}
 	e.consumePending = true
-	e.n.k.After(0, e.consume)
+	e.n.k.AfterEvent(0, e, epOpConsume, 0, nil)
 }
 
 func (e *endpoint) consume() {
-	e.consumePending = false
 	n := e.n
 	rate := n.cfg.EjectRate
 	if rate <= 0 {
@@ -648,7 +794,7 @@ func (e *endpoint) consume() {
 	// One pass over classes in rotating order, consuming up to rate.
 	for i := 0; i < classes && consumed < rate; i++ {
 		c := (e.rr + i) % classes
-		m := e.ingress[c].head()
+		m := e.ingress[c].head0()
 		if m == nil {
 			continue
 		}
@@ -664,6 +810,7 @@ func (e *endpoint) consume() {
 		}
 		e.ingress[c].pop()
 		n.st.Consumed.Inc()
+		n.releaseMsg(m)
 		consumed++
 		n.sw[e.node].scheduleArb() // ingress space freed
 	}
@@ -674,8 +821,8 @@ func (e *endpoint) consume() {
 	// if we made progress; otherwise wait for an explicit Kick.
 	if consumed > 0 {
 		for c := range e.ingress {
-			if len(e.ingress[c]) > 0 {
-				n.k.After(1, func() { e.scheduleConsume() })
+			if e.ingress[c].len() > 0 {
+				n.k.AfterEvent(1, e, epOpRetry, 0, nil)
 				break
 			}
 		}

@@ -344,7 +344,8 @@ func TestProductiveDirectionsReduceDistance(t *testing.T) {
 			if a == b {
 				continue
 			}
-			dirs := tp.productive(a, b)
+			var buf [4]int
+			dirs := tp.productiveInto(a, b, &buf)
 			if len(dirs) == 0 {
 				t.Fatalf("no productive direction %d->%d", a, b)
 			}

@@ -99,29 +99,36 @@ func (t topo) dist(a, b NodeID) int {
 	return dx + dy
 }
 
-// productive returns every direction that reduces the minimal distance
-// from cur to dst (both wrap directions on ties), in deterministic order.
-func (t topo) productive(cur, dst NodeID) []int {
-	var dirs []int
+// productiveInto returns every direction that reduces the minimal
+// distance from cur to dst (both wrap directions on ties), in
+// deterministic order: it fills buf and returns the occupied prefix.
+// Arbitration calls it per message, so the candidate list must not
+// escape to the heap.
+func (t topo) productiveInto(cur, dst NodeID, buf *[4]int) []int {
+	n := 0
 	cx, cy := t.xy(cur)
 	dx, dy := t.xy(dst)
 	if xd, xstep, xtie := ringDist(cx, dx, t.w); xd > 0 {
 		if xstep == 1 || xtie {
-			dirs = append(dirs, East)
+			buf[n] = East
+			n++
 		}
 		if xstep == -1 || xtie {
-			dirs = append(dirs, West)
+			buf[n] = West
+			n++
 		}
 	}
 	if yd, ystep, ytie := ringDist(cy, dy, t.h); yd > 0 {
 		if ystep == 1 || ytie {
-			dirs = append(dirs, South)
+			buf[n] = South
+			n++
 		}
 		if ystep == -1 || ytie {
-			dirs = append(dirs, North)
+			buf[n] = North
+			n++
 		}
 	}
-	return dirs
+	return buf[:n]
 }
 
 // staticNext returns the single dimension-order (X then Y) next hop

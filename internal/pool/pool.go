@@ -1,0 +1,49 @@
+// Package pool provides the bounded free list behind the simulator's
+// allocation-free hot paths. One implementation serves every recycler
+// in the tree — network messages, protocol payload boxes, directory
+// transaction records — so capacity policy and recycling semantics
+// cannot drift between copies.
+package pool
+
+// DefaultCap bounds a FreeList whose Cap field is zero.
+const DefaultCap = 4096
+
+// FreeList recycles heap objects of one type. It is not safe for
+// concurrent use; every simulation kernel is single-threaded, so each
+// owner embeds its own list.
+//
+// Get returns a recycled object with UNSPECIFIED contents (callers must
+// overwrite every field) or a freshly allocated zero object. Put offers
+// an object back, dropping it once Cap (DefaultCap if zero) are held —
+// an object lost to a drop is simply garbage collected and the list
+// refills from Get.
+type FreeList[T any] struct {
+	// Cap bounds retained objects; 0 means DefaultCap.
+	Cap   int
+	items []*T
+}
+
+// Get returns a recycled or new object.
+func (f *FreeList[T]) Get() *T {
+	if n := len(f.items); n > 0 {
+		x := f.items[n-1]
+		f.items[n-1] = nil
+		f.items = f.items[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put offers x back to the list.
+func (f *FreeList[T]) Put(x *T) {
+	limit := f.Cap
+	if limit == 0 {
+		limit = DefaultCap
+	}
+	if len(f.items) < limit {
+		f.items = append(f.items, x)
+	}
+}
+
+// Len reports how many objects the list currently holds.
+func (f *FreeList[T]) Len() int { return len(f.items) }

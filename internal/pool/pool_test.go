@@ -1,0 +1,40 @@
+package pool
+
+import "testing"
+
+func TestFreeListRecycles(t *testing.T) {
+	var f FreeList[int]
+	a := f.Get()
+	*a = 7
+	f.Put(a)
+	if f.Len() != 1 {
+		t.Fatalf("len=%d after one Put", f.Len())
+	}
+	b := f.Get()
+	if b != a {
+		t.Fatal("Get did not return the recycled object")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("len=%d after Get", f.Len())
+	}
+}
+
+func TestFreeListCapBounds(t *testing.T) {
+	f := FreeList[int]{Cap: 2}
+	for i := 0; i < 5; i++ {
+		f.Put(new(int))
+	}
+	if f.Len() != 2 {
+		t.Fatalf("len=%d, want cap 2", f.Len())
+	}
+}
+
+func TestFreeListDefaultCap(t *testing.T) {
+	var f FreeList[int]
+	for i := 0; i < DefaultCap+10; i++ {
+		f.Put(new(int))
+	}
+	if f.Len() != DefaultCap {
+		t.Fatalf("len=%d, want DefaultCap %d", f.Len(), DefaultCap)
+	}
+}

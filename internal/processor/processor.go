@@ -31,6 +31,13 @@ type Processor struct {
 	epoch   uint64 // invalidates scheduled steps after restore
 	pending bool   // an access is outstanding
 	holding bool   // waiting for an outstanding-limit token
+
+	// issueEpoch is the epoch captured when the outstanding access was
+	// issued; doneFn ignores completions from a rolled-back epoch.
+	issueEpoch uint64
+	// doneFn is the completion callback handed to the protocol, built
+	// once so issuing an access allocates nothing.
+	doneFn func()
 }
 
 // Snapshot is one core's architectural state at a checkpoint.
@@ -62,7 +69,9 @@ func NewPool(k *sim.Kernel, n int, access AccessFunc, gens []workload.Generator)
 	}
 	p := &Pool{k: k, access: access}
 	for i := 0; i < n; i++ {
-		p.procs = append(p.procs, &Processor{pool: p, node: coherence.NodeID(i), gen: gens[i]})
+		c := &Processor{pool: p, node: coherence.NodeID(i), gen: gens[i]}
+		c.doneFn = c.complete
+		p.procs = append(p.procs, c)
 	}
 	return p
 }
@@ -156,13 +165,47 @@ func (p *Pool) drainWaiting() {
 
 // ---- per-core execution ----
 
+// Typed-event opcodes, packed into the low bit of a0 beside the epoch.
+const (
+	procOpStep  = iota // retry/start the next reference
+	procOpIssue        // think time elapsed: issue the memory access
+)
+
+// HandleEvent implements sim.Handler; events carrying a stale epoch
+// (scheduled before a rollback) are dropped, as RestoreAll requires.
+func (c *Processor) HandleEvent(a0, _ uint64, _ any) {
+	if a0>>1 != c.epoch {
+		return
+	}
+	if a0&1 == procOpStep {
+		c.step()
+		return
+	}
+	// Think time retired: hand the reference to the protocol. Peek is
+	// stable until Advance, so re-reading it here re-yields the op that
+	// was current when the think delay was scheduled.
+	op := c.gen.Peek()
+	c.issueEpoch = c.epoch
+	c.pool.access(c.node, op.Addr, op.Kind, c.doneFn)
+}
+
+// complete is the protocol's completion callback (doneFn).
+func (c *Processor) complete() {
+	if c.epoch != c.issueEpoch {
+		return
+	}
+	p := c.pool
+	op := c.gen.Peek()
+	c.pending = false
+	p.inflight--
+	c.instret += uint64(op.Think) + 1
+	c.gen.Advance()
+	p.drainWaiting()
+	c.scheduleStep(0)
+}
+
 func (c *Processor) scheduleStep(d sim.Time) {
-	e := c.epoch
-	c.pool.k.After(d, func() {
-		if c.epoch == e {
-			c.step()
-		}
-	})
+	c.pool.k.AfterEvent(d, c, c.epoch<<1|procOpStep, 0, nil)
 }
 
 // step retires the current op's think time, then issues its memory
@@ -187,21 +230,5 @@ func (c *Processor) issue() {
 	op := c.gen.Peek()
 	p.inflight++
 	c.pending = true
-	e := c.epoch
-	p.k.After(op.Think, func() {
-		if c.epoch != e {
-			return
-		}
-		p.access(c.node, op.Addr, op.Kind, func() {
-			if c.epoch != e {
-				return
-			}
-			c.pending = false
-			p.inflight--
-			c.instret += uint64(op.Think) + 1
-			c.gen.Advance()
-			p.drainWaiting()
-			c.scheduleStep(0)
-		})
-	})
+	p.k.AfterEvent(op.Think, c, c.epoch<<1|procOpIssue, 0, nil)
 }

@@ -1,0 +1,120 @@
+package runner
+
+// Metrics is the fixed measurement schema shared by every design-point
+// run. It replaced the original map[string]float64: a typed struct is
+// returned by value, so executing a grid point allocates nothing for its
+// results, and the CSV column set is identical for every experiment by
+// construction.
+type Metrics struct {
+	Perf              float64
+	Cycles            float64
+	Instructions      float64
+	Recoveries        float64
+	Checkpoints       float64
+	CheckpointStall   float64
+	MeanLostWork      float64
+	MeanLinkUtil      float64
+	ReorderTotal      float64
+	Deflections       float64
+	Timeouts          float64
+	CornerDetected    float64
+	CornerHandled     float64
+	LogHighWaterBytes float64
+	Writebacks        float64
+	WBRaces           float64
+	Transactions      float64
+	MissLatencyMean   float64
+	LimitStalls       float64
+	OrderViolations   float64
+	ReorderVNet       [4]float64
+}
+
+// metricKeys lists every metric column in sorted order — the CSV layout
+// contract (the artifact format predates the typed schema and is kept
+// byte-compatible).
+var metricKeys = []string{
+	"checkpoint_stall",
+	"checkpoints",
+	"corner_detected",
+	"corner_handled",
+	"cycles",
+	"deflections",
+	"instructions",
+	"limit_stalls",
+	"log_high_water_bytes",
+	"mean_link_util",
+	"mean_lost_work",
+	"miss_latency_mean",
+	"order_violations",
+	"perf",
+	"recoveries",
+	"reorder_total",
+	"reorder_vnet0",
+	"reorder_vnet1",
+	"reorder_vnet2",
+	"reorder_vnet3",
+	"timeouts",
+	"transactions",
+	"wb_races",
+	"writebacks",
+}
+
+// MetricKeys returns the metric column names in CSV order.
+func MetricKeys() []string { return append([]string(nil), metricKeys...) }
+
+// Get returns the metric named by key (the CSV column name). Unknown
+// keys are a programming error and panic: experiment aggregation code
+// addresses metrics by name and a typo must not read as silent zero.
+func (m *Metrics) Get(key string) float64 {
+	switch key {
+	case "perf":
+		return m.Perf
+	case "cycles":
+		return m.Cycles
+	case "instructions":
+		return m.Instructions
+	case "recoveries":
+		return m.Recoveries
+	case "checkpoints":
+		return m.Checkpoints
+	case "checkpoint_stall":
+		return m.CheckpointStall
+	case "mean_lost_work":
+		return m.MeanLostWork
+	case "mean_link_util":
+		return m.MeanLinkUtil
+	case "reorder_total":
+		return m.ReorderTotal
+	case "deflections":
+		return m.Deflections
+	case "timeouts":
+		return m.Timeouts
+	case "corner_detected":
+		return m.CornerDetected
+	case "corner_handled":
+		return m.CornerHandled
+	case "log_high_water_bytes":
+		return m.LogHighWaterBytes
+	case "writebacks":
+		return m.Writebacks
+	case "wb_races":
+		return m.WBRaces
+	case "transactions":
+		return m.Transactions
+	case "miss_latency_mean":
+		return m.MissLatencyMean
+	case "limit_stalls":
+		return m.LimitStalls
+	case "order_violations":
+		return m.OrderViolations
+	case "reorder_vnet0":
+		return m.ReorderVNet[0]
+	case "reorder_vnet1":
+		return m.ReorderVNet[1]
+	case "reorder_vnet2":
+		return m.ReorderVNet[2]
+	case "reorder_vnet3":
+		return m.ReorderVNet[3]
+	}
+	panic("runner: unknown metric key " + key)
+}

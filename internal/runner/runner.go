@@ -15,6 +15,7 @@ package runner
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Point is one design point instance: a single simulated run.
@@ -37,13 +38,13 @@ type Point struct {
 	// Run executes the point and returns its metrics. It must be a pure
 	// function of seed so that re-running a grid reproduces artifacts
 	// byte for byte.
-	Run func(seed uint64) map[string]float64
+	Run func(seed uint64) Metrics
 }
 
 // Result pairs a point with the metrics its run produced.
 type Result struct {
 	Point
-	Metrics map[string]float64
+	Metrics Metrics
 }
 
 // PerturbSeed derives the deterministic seed for a repeat from a base
@@ -78,30 +79,31 @@ func (r *Runner) WorkerBound() int {
 
 // Run executes every point on the bounded pool and returns results in
 // point order (independent of scheduling). Exactly WorkerBound worker
-// goroutines are spawned no matter how large the grid is. If a Sink is
-// configured the results are appended to the per-experiment CSVs, also
-// in point order.
+// goroutines are spawned no matter how large the grid is; they claim
+// points through one atomic cursor, so dispatch costs no channel
+// round-trips and no allocation per point. If a Sink is configured the
+// results are appended to the per-experiment CSVs, also in point order.
 func (r *Runner) Run(points []Point) []Result {
 	results := make([]Result, len(points))
 	workers := r.WorkerBound()
 	if workers > len(points) {
 		workers = len(points)
 	}
-	work := make(chan int)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
 				results[i] = Result{Point: points[i], Metrics: points[i].Run(points[i].Seed)}
 			}
 		}()
 	}
-	for i := range points {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
 	if r.Sink != nil {
 		r.Sink.AppendRows(results)

@@ -25,13 +25,13 @@ func grid(exp string, n, repeats int, gauge func()) []Point {
 				Params:     map[string]string{"axis": fmt.Sprintf("%d", d), "beta": "x"},
 				Repeat:     rep,
 				Seed:       PerturbSeed(uint64(d+1), rep),
-				Run: func(seed uint64) map[string]float64 {
+				Run: func(seed uint64) Metrics {
 					if gauge != nil {
 						gauge()
 					}
-					return map[string]float64{
-						"perf":  float64(seed%97) / 97,
-						"count": float64(d),
+					return Metrics{
+						Perf:         float64(seed%97) / 97,
+						Transactions: float64(d),
 					}
 				},
 			})
@@ -52,8 +52,8 @@ func TestRunPreservesPointOrder(t *testing.T) {
 			t.Fatalf("result %d out of order: seed %d vs %d", i, rr.Seed, pts[i].Seed)
 		}
 		want := float64(pts[i].Seed%97) / 97
-		if rr.Metrics["perf"] != want {
-			t.Fatalf("result %d: perf %v, want %v", i, rr.Metrics["perf"], want)
+		if rr.Metrics.Perf != want {
+			t.Fatalf("result %d: perf %v, want %v", i, rr.Metrics.Perf, want)
 		}
 	}
 }
@@ -149,15 +149,18 @@ func TestCSVLayout(t *testing.T) {
 	if len(lines) != 1+len(pts) {
 		t.Fatalf("got %d lines, want header + %d rows:\n%s", len(lines), len(pts), data)
 	}
-	// Fixed columns, then sorted params, then sorted metrics.
-	if lines[0] != "experiment,workload,repeat,seed,axis,beta,count,perf" {
-		t.Fatalf("header %q", lines[0])
+	// Fixed columns, then sorted params, then the full metric schema in
+	// sorted order (identical for every experiment by construction).
+	want := "experiment,workload,repeat,seed,axis,beta," + strings.Join(MetricKeys(), ",")
+	if lines[0] != want {
+		t.Fatalf("header %q, want %q", lines[0], want)
 	}
+	cells := 6 + len(MetricKeys())
 	for i, line := range lines[1:] {
 		if !strings.HasPrefix(line, "layout,") {
 			t.Fatalf("row %d: %q", i, line)
 		}
-		if got := len(strings.Split(line, ",")); got != 8 {
+		if got := len(strings.Split(line, ",")); got != cells {
 			t.Fatalf("row %d has %d cells: %q", i, got, line)
 		}
 	}

@@ -81,7 +81,7 @@ func (s *Sink) AppendRows(results []Result) {
 		cols, seen := s.columns[r.Experiment]
 		if !seen {
 			cols = append([]string{"experiment", "workload", "repeat", "seed"},
-				append(sortedKeys(r.Params), sortedKeys(r.Metrics)...)...)
+				append(sortedKeys(r.Params), metricKeys...)...)
 			s.columns[r.Experiment] = cols
 		}
 		f := files[r.Experiment]
@@ -122,7 +122,7 @@ func (s *Sink) AppendRows(results []Result) {
 				if v, ok := r.Params[c]; ok {
 					row = append(row, v)
 				} else {
-					row = append(row, strconv.FormatFloat(r.Metrics[c], 'g', -1, 64))
+					row = append(row, strconv.FormatFloat(r.Metrics.Get(c), 'g', -1, 64))
 				}
 			}
 		}

@@ -1,17 +1,30 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // All model components (network switches, cache controllers, processors,
-// the SafetyNet checkpoint service) schedule closures on a single Kernel.
+// the SafetyNet checkpoint service) schedule work on a single Kernel.
 // Events at the same timestamp fire in schedule order, so a run with a
 // fixed seed is bit-for-bit reproducible — a property the reproduction
 // methodology depends on (paper §5.2 runs each design point several times
 // under controlled pseudo-random perturbation).
+//
+// # Scheduler structure
+//
+// The kernel is a bucketed calendar queue: events within wheelSize cycles
+// of the current time live in a wheel of per-cycle buckets (append-order
+// dispatch gives FIFO tie-breaking for free), and far-future events live
+// in an overflow min-heap ordered by (when, seq) that migrates into the
+// wheel as time advances. Scheduling and dispatch are O(1) amortized —
+// the binary-heap log factor of the classic implementation is gone — and
+// bucket storage is recycled, so a steady-state simulation allocates no
+// scheduler memory at all.
+//
+// Two event forms are supported: closures (At/After) for cold paths, and
+// typed handler events (AtEvent/AfterEvent) that carry two integers and a
+// pointer to a pre-allocated Handler, so hot paths (switch arbitration,
+// message arrival, protocol sends) schedule without allocating.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in processor clock cycles.
 type Time uint64
@@ -19,44 +32,63 @@ type Time uint64
 // Forever is a time later than any reachable simulation instant.
 const Forever = Time(1<<63 - 1)
 
-// Event is a scheduled closure. Events are ordered by (When, seq) where
-// seq is the scheduling order, giving deterministic FIFO tie-breaking.
+// Handler consumes a typed event. Implementations are long-lived model
+// components (a switch, an endpoint, a protocol); the two integer
+// arguments and the pointer payload carry everything a closure would
+// otherwise capture, so scheduling a typed event allocates nothing.
+type Handler interface {
+	HandleEvent(a0, a1 uint64, p any)
+}
+
+// event is one scheduled unit of work: either a closure (fn) or a typed
+// handler invocation. Events are stored by value in wheel buckets and
+// the far heap; no per-event allocation occurs.
 type event struct {
+	fn     func()
+	h      Handler
+	a0, a1 uint64
+	p      any
+}
+
+func (ev *event) fire() {
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	ev.h.HandleEvent(ev.a0, ev.a1, ev.p)
+}
+
+const (
+	wheelBits = 12
+	// wheelSize is the near-future horizon in cycles: events scheduled
+	// less than wheelSize cycles ahead go into per-cycle buckets.
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// farEvent is an event beyond the wheel horizon, heap-ordered by
+// (when, seq) so migration into the wheel preserves FIFO tie-breaking.
+type farEvent struct {
 	when Time
 	seq  uint64
-	fn   func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	ev   event
 }
 
 // Kernel is a discrete-event simulator. The zero value is ready to use.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
 	// Executed counts events dispatched since construction.
 	Executed uint64
-	// free recycles event structs to reduce allocation pressure in long
-	// runs; the heap can hold hundreds of thousands of pending events.
-	free []*event
+
+	// wheel[t&wheelMask] holds the events scheduled for time t, for
+	// t in [now, now+wheelSize); within a bucket, append order is
+	// dispatch order. Allocated lazily so the zero Kernel stays usable.
+	wheel      [][]event
+	wheelCount int // undispatched events in the wheel
+	cellPos    int // dispatch cursor within the bucket at now
+
+	far    []farEvent // min-heap of events at or beyond now+wheelSize
+	farSeq uint64
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -66,44 +98,146 @@ func NewKernel() *Kernel { return &Kernel{} }
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports the number of scheduled, not-yet-fired events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.wheelCount + len(k.far) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: it would silently corrupt causality.
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
-	}
-	var ev *event
-	if n := len(k.free); n > 0 {
-		ev = k.free[n-1]
-		k.free = k.free[:n-1]
-		ev.when, ev.seq, ev.fn = t, k.seq, fn
-	} else {
-		ev = &event{when: t, seq: k.seq, fn: fn}
-	}
-	k.seq++
-	heap.Push(&k.events, ev)
+	k.schedule(t, event{fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
-func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, event{fn: fn}) }
+
+// AtEvent schedules a typed event at absolute time t: h.HandleEvent(a0,
+// a1, p) fires at t. Unlike At, it allocates nothing.
+func (k *Kernel) AtEvent(t Time, h Handler, a0, a1 uint64, p any) {
+	k.schedule(t, event{h: h, a0: a0, a1: a1, p: p})
+}
+
+// AfterEvent schedules a typed event d cycles from now.
+func (k *Kernel) AfterEvent(d Time, h Handler, a0, a1 uint64, p any) {
+	k.schedule(k.now+d, event{h: h, a0: a0, a1: a1, p: p})
+}
+
+func (k *Kernel) schedule(t Time, ev event) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	if t-k.now < wheelSize {
+		if k.wheel == nil {
+			k.wheel = make([][]event, wheelSize)
+		}
+		i := t & wheelMask
+		k.wheel[i] = append(k.wheel[i], ev)
+		k.wheelCount++
+		return
+	}
+	k.farPush(farEvent{when: t, seq: k.farSeq, ev: ev})
+	k.farSeq++
+}
+
+// migrate moves far-future events whose time has come within the wheel
+// horizon into their buckets. It must run every time now advances, so
+// that a bucket's append order equals global (when, seq) order.
+func (k *Kernel) migrate() {
+	horizon := k.now + wheelSize
+	for len(k.far) > 0 && k.far[0].when < horizon {
+		fe := k.farPop()
+		if k.wheel == nil {
+			k.wheel = make([][]event, wheelSize)
+		}
+		i := fe.when & wheelMask
+		k.wheel[i] = append(k.wheel[i], fe.ev)
+		k.wheelCount++
+	}
+}
+
+// advance positions now at the next pending event's time and reports
+// whether an event is ready to dispatch at now. When bounded, now never
+// exceeds limit: if the next event lies beyond limit (or none remains),
+// advance stops with now == limit and returns false.
+func (k *Kernel) advance(limit Time, bounded bool) bool {
+	for {
+		if bounded && k.now > limit {
+			return false
+		}
+		if k.wheelCount > 0 {
+			cell := k.wheel[k.now&wheelMask]
+			if k.cellPos < len(cell) {
+				return true
+			}
+			if len(cell) > 0 {
+				// Bucket exhausted: drop event references for GC and
+				// recycle the storage for a future cycle.
+				clear(cell)
+				k.wheel[k.now&wheelMask] = cell[:0]
+			}
+			k.cellPos = 0
+			if bounded && k.now >= limit {
+				return false
+			}
+			k.now++
+			k.migrate()
+			continue
+		}
+		// Wheel empty: jump straight to the earliest far event.
+		if cp := k.currentCell(); cp != nil && len(*cp) > 0 {
+			// All events in the current bucket were dispatched but the
+			// bucket was not yet recycled (wheelCount hit zero mid-cell).
+			clear(*cp)
+			*cp = (*cp)[:0]
+			k.cellPos = 0
+		}
+		if len(k.far) == 0 {
+			if bounded && k.now < limit {
+				k.now = limit
+			}
+			return false
+		}
+		if t := k.far[0].when; !bounded || t <= limit {
+			k.now = t
+		} else {
+			// Stopping short of the next far event still advances now,
+			// so far events newly inside the horizon MUST migrate here:
+			// otherwise a subsequent schedule at the same timestamp
+			// would enter its wheel bucket ahead of the older event,
+			// breaking FIFO tie-breaking.
+			k.now = limit
+			k.migrate()
+			return false
+		}
+		k.migrate()
+	}
+}
+
+func (k *Kernel) currentCell() *[]event {
+	if k.wheel == nil {
+		return nil
+	}
+	return &k.wheel[k.now&wheelMask]
+}
+
+// dispatchOne fires the next event in the current bucket. The caller
+// must have established readiness via advance.
+func (k *Kernel) dispatchOne() {
+	cell := k.wheel[k.now&wheelMask]
+	ev := cell[k.cellPos]
+	// References are released in bulk when the bucket empties (advance
+	// clears it); per-slot zeroing here would double the memclr work.
+	k.cellPos++
+	k.wheelCount--
+	k.Executed++
+	ev.fire()
+}
 
 // Step fires the next event, advancing time to it. It reports whether an
 // event was available.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	if !k.advance(0, false) {
 		return false
 	}
-	ev := heap.Pop(&k.events).(*event)
-	k.now = ev.when
-	fn := ev.fn
-	ev.fn = nil
-	if len(k.free) < 1024 {
-		k.free = append(k.free, ev)
-	}
-	k.Executed++
-	fn()
+	k.dispatchOne()
 	return true
 }
 
@@ -112,8 +246,8 @@ func (k *Kernel) Step() bool {
 // number of events executed by this call.
 func (k *Kernel) Run(until Time) uint64 {
 	start := k.Executed
-	for len(k.events) > 0 && k.events[0].when <= until {
-		k.Step()
+	for k.advance(until, true) {
+		k.dispatchOne()
 	}
 	if k.now < until {
 		k.now = until
@@ -130,5 +264,53 @@ func (k *Kernel) Drain(maxEvents uint64) bool {
 			return true
 		}
 	}
-	return len(k.events) == 0
+	return k.Pending() == 0
+}
+
+// ---- far-future min-heap, ordered by (when, seq) ----
+
+func (k *Kernel) farPush(fe farEvent) {
+	k.far = append(k.far, fe)
+	i := len(k.far) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !farLess(k.far[i], k.far[parent]) {
+			break
+		}
+		k.far[i], k.far[parent] = k.far[parent], k.far[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) farPop() farEvent {
+	h := k.far
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = farEvent{}
+	k.far = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && farLess(k.far[l], k.far[smallest]) {
+			smallest = l
+		}
+		if r < n && farLess(k.far[r], k.far[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		k.far[i], k.far[smallest] = k.far[smallest], k.far[i]
+		i = smallest
+	}
+	return top
+}
+
+func farLess(a, b farEvent) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
 }

@@ -18,6 +18,7 @@ package snoop
 
 import (
 	"specsimp/internal/coherence"
+	"specsimp/internal/pool"
 	"specsimp/internal/sim"
 	"specsimp/internal/stats"
 )
@@ -38,10 +39,35 @@ func DefaultBusConfig(nodes int) BusConfig {
 	return BusConfig{Nodes: nodes, ArbInterval: 5, DeliverLatency: 25}
 }
 
+// ScaledBusConfig sizes the address network for a w×h machine: delivery
+// latency grows with the torus diameter (5 cycles per hop plus a fixed
+// 5-cycle arbitration pipeline), matching DefaultBusConfig exactly at
+// the paper's 4×4 geometry.
+func ScaledBusConfig(w, h int) BusConfig {
+	diameter := sim.Time(w/2 + h/2)
+	return BusConfig{Nodes: w * h, ArbInterval: 5, DeliverLatency: 5 + 5*diameter}
+}
+
 // BusObserver receives every ordered request, in the same global order
 // at every node.
 type BusObserver interface {
 	OnOrdered(seq uint64, msg coherence.Msg)
+}
+
+// AddressNet is the ordered address network the snooping protocol is
+// written against. *Bus is the timed implementation; the exploration
+// harness (explore.go) substitutes a scriptable one that lets the
+// explorer choose the ordering of concurrently submitted requests.
+type AddressNet interface {
+	// Submit queues a request; it is eventually ordered and observed by
+	// every attached observer in the same global order.
+	Submit(msg coherence.Msg)
+	// Attach registers an observer (cache or memory controller).
+	Attach(o BusObserver)
+	// Ordered returns the number of requests ordered so far.
+	Ordered() uint64
+	// Reset drops every submitted-but-unordered request (recovery).
+	Reset()
 }
 
 // Bus is the totally ordered broadcast address network. Requests submit
@@ -57,6 +83,10 @@ type Bus struct {
 	epoch     uint64
 
 	ordered stats.Counter
+
+	// free recycles the boxed messages that ride inside delivery events,
+	// so steady-state arbitration allocates nothing.
+	free pool.FreeList[coherence.Msg]
 
 	// OnOrder, if set, is called once per ordered request after all
 	// observers — the logical-time hook the snooping SafetyNet
@@ -87,25 +117,32 @@ func (b *Bus) Submit(msg coherence.Msg) {
 	b.nextFree = at + b.cfg.ArbInterval
 	seq := b.seq
 	b.seq++
-	epoch := b.epoch
-	b.k.At(at+b.cfg.DeliverLatency, func() {
+	cm := b.free.Get()
+	*cm = msg
+	b.k.AtEvent(at+b.cfg.DeliverLatency, b, b.epoch, seq, cm)
+}
+
+// HandleEvent implements sim.Handler: one ordered-request broadcast.
+func (b *Bus) HandleEvent(epoch, seq uint64, p any) {
+	cm := p.(*coherence.Msg)
+	msg := *cm
+	b.free.Put(cm)
+	if b.epoch != epoch {
+		return // dropped by a recovery reset
+	}
+	b.ordered.Inc()
+	for _, o := range b.observers {
 		if b.epoch != epoch {
-			return // dropped by a recovery reset
+			return // a recovery fired mid-broadcast; abort the event
 		}
-		b.ordered.Inc()
-		for _, o := range b.observers {
-			if b.epoch != epoch {
-				return // a recovery fired mid-broadcast; abort the event
-			}
-			o.OnOrdered(seq, msg)
-		}
-		if b.epoch != epoch {
-			return
-		}
-		if b.OnOrder != nil {
-			b.OnOrder(seq)
-		}
-	})
+		o.OnOrdered(seq, msg)
+	}
+	if b.epoch != epoch {
+		return
+	}
+	if b.OnOrder != nil {
+		b.OnOrder(seq)
+	}
 }
 
 // Reset drops every submitted-but-undelivered request (a SafetyNet

@@ -7,6 +7,7 @@ import (
 	"specsimp/internal/coherence"
 	"specsimp/internal/mem"
 	"specsimp/internal/network"
+	"specsimp/internal/pool"
 	"specsimp/internal/sim"
 	"specsimp/internal/stats"
 )
@@ -60,7 +61,7 @@ type Stats struct {
 // bus and an unordered data fabric.
 type Protocol struct {
 	k    *sim.Kernel
-	bus  *Bus
+	bus  AddressNet
 	data network.Fabric
 	cfg  Config
 	log  UndoLogger
@@ -74,11 +75,67 @@ type Protocol struct {
 
 	st    Stats
 	epoch uint64
+
+	// cmsgFree recycles the boxed payloads of data-fabric messages (see
+	// the directory package for the scheme).
+	cmsgFree pool.FreeList[coherence.Msg]
+}
+
+// Typed-event opcodes, packed into the low bits of a0 beside the epoch.
+const (
+	sopSend = iota // a1 = destination node, p = *coherence.Msg
+	sopDone        // p = the processor completion callback
+)
+
+// HandleEvent implements sim.Handler for delayed data supplies and
+// processor completion callbacks; stale-epoch events (scheduled before a
+// recovery) are dropped.
+func (p *Protocol) HandleEvent(a0, a1 uint64, pay any) {
+	op := a0 & 3
+	if a0>>2 != p.epoch {
+		if op == sopSend {
+			p.putCM(pay.(*coherence.Msg))
+		}
+		return
+	}
+	switch op {
+	case sopSend:
+		p.sendPooled(pay.(*coherence.Msg), coherence.NodeID(a1))
+	case sopDone:
+		pay.(func())()
+	}
+}
+
+func (p *Protocol) getCM() *coherence.Msg   { return p.cmsgFree.Get() }
+func (p *Protocol) putCM(cm *coherence.Msg) { p.cmsgFree.Put(cm) }
+
+// sendAfter schedules a data message for later injection without
+// allocating; a recovery in the meantime drops it.
+func (p *Protocol) sendAfter(d sim.Time, m coherence.Msg, to coherence.NodeID) {
+	cm := p.getCM()
+	*cm = m
+	p.k.AfterEvent(d, p, p.epoch<<2|sopSend, uint64(to), cm)
+}
+
+// doneAfter schedules a processor completion callback, dropped on
+// recovery (the restored processors re-issue).
+func (p *Protocol) doneAfter(d sim.Time, done func()) {
+	p.k.AfterEvent(d, p, p.epoch<<2|sopDone, 0, done)
+}
+
+func (p *Protocol) sendPooled(cm *coherence.Msg, to coherence.NodeID) {
+	nm := network.Alloc(p.data)
+	nm.Src = network.NodeID(cm.From)
+	nm.Dst = network.NodeID(to)
+	nm.VNet = 0
+	nm.Size = coherence.DataMsgBytes
+	nm.Payload = cm
+	p.data.Send(nm)
 }
 
 // New builds the protocol over a bus and a data fabric; it claims the
 // fabric's clients and attaches bus observers for every node.
-func New(k *sim.Kernel, bus *Bus, data network.Fabric, cfg Config, log UndoLogger) *Protocol {
+func New(k *sim.Kernel, bus AddressNet, data network.Fabric, cfg Config, log UndoLogger) *Protocol {
 	if cfg.Nodes != data.NumNodes() {
 		panic("snoop: node count differs from data network size")
 	}
@@ -100,6 +157,14 @@ func New(k *sim.Kernel, bus *Bus, data network.Fabric, cfg Config, log UndoLogge
 		bus.Attach(c)
 		bus.Attach(m)
 		data.AttachClient(network.NodeID(i), network.ClientFunc(func(nm *network.Message) bool {
+			if cm, ok := nm.Payload.(*coherence.Msg); ok {
+				msg := *cm
+				if c.handleData(msg) {
+					p.putCM(cm)
+					return true
+				}
+				return false
+			}
 			return c.handleData(nm.Payload.(coherence.Msg))
 		}))
 	}
@@ -113,7 +178,7 @@ func (p *Protocol) Stats() *Stats { return &p.st }
 func (p *Protocol) Config() Config { return p.cfg }
 
 // Bus returns the ordered address network.
-func (p *Protocol) Bus() *Bus { return p.bus }
+func (p *Protocol) Bus() AddressNet { return p.bus }
 
 // Home maps a block to the node whose memory controller owns it.
 func (p *Protocol) Home(a coherence.Addr) coherence.NodeID {
@@ -142,6 +207,7 @@ func (p *Protocol) ResetTransients() {
 	for _, c := range p.caches {
 		c.flushPendingRestores()
 		c.req = nil
+		c.reqStore.done = nil // drop the callback reference with the TBE
 		c.wb = nil
 		c.parked = nil
 		c.l1.Clear()
@@ -187,11 +253,9 @@ func (p *Protocol) after(d sim.Time, fn func()) {
 }
 
 func (p *Protocol) sendData(from, to coherence.NodeID, a coherence.Addr, version uint64) {
-	p.data.Send(&network.Message{
-		Src: network.NodeID(from), Dst: network.NodeID(to),
-		VNet: 0, Size: coherence.DataMsgBytes,
-		Payload: coherence.Msg{Kind: coherence.Data, Addr: a, From: from, Requestor: to, Version: version},
-	})
+	cm := p.getCM()
+	*cm = coherence.Msg{Kind: coherence.Data, Addr: a, From: from, Requestor: to, Version: version}
+	p.sendPooled(cm, to)
 }
 
 // Access performs one blocking processor reference at node.
@@ -248,6 +312,11 @@ type sCacheCtrl struct {
 	// over-full mid-undo (see the directory package for the argument);
 	// flushed in ResetTransients once the undo pass completes.
 	pendingRestore map[coherence.Addr]restoredLine
+
+	// reqStore and wbStore back req and wb: at most one of each is
+	// outstanding per controller, so the TBEs are reused in place.
+	reqStore sReqTBE
+	wbStore  sWbTBE
 }
 
 type restoredLine struct {
@@ -333,7 +402,7 @@ func (c *sCacheCtrl) access(addr coherence.Addr, kind coherence.AccessType, done
 				c.logLine(addr)
 				line.Version++
 			}
-			c.p.after(lat, done)
+			c.p.doneAfter(lat, done)
 			return
 		}
 		// Store upgrade.
@@ -359,7 +428,9 @@ func (c *sCacheCtrl) installL1(addr coherence.Addr) {
 
 func (c *sCacheCtrl) startRequest(addr coherence.Addr, kind coherence.MsgKind, st SState, isStore bool, done func()) {
 	c.p.st.Transactions.Inc()
-	c.req = &sReqTBE{addr: addr, state: st, isStore: isStore, start: c.p.k.Now(), done: done}
+	obs := c.reqStore.obs[:0] // reuse the obligation list's storage
+	c.reqStore = sReqTBE{addr: addr, state: st, isStore: isStore, obs: obs, start: c.p.k.Now(), done: done}
+	c.req = &c.reqStore
 	c.p.bus.Submit(coherence.Msg{Kind: kind, Addr: addr, From: c.node})
 }
 
@@ -393,7 +464,8 @@ func (c *sCacheCtrl) startWriteback(v *cache.Line) {
 	c.logLine(addr)
 	c.l1.Invalidate(addr)
 	v.Valid = false
-	c.wb = &sWbTBE{addr: addr, state: SWBa, version: ver, start: c.p.k.Now()}
+	c.wbStore = sWbTBE{addr: addr, state: SWBa, version: ver, start: c.p.k.Now()}
+	c.wb = &c.wbStore
 	c.p.bus.Submit(coherence.Msg{Kind: coherence.SnoopPutM, Addr: addr, From: c.node, Version: ver})
 }
 
@@ -586,9 +658,8 @@ func (c *sCacheCtrl) invalidateIfPresent(a coherence.Addr) {
 }
 
 func (c *sCacheCtrl) supply(to coherence.NodeID, a coherence.Addr, version uint64) {
-	c.p.after(c.p.cfg.L2Latency, func() {
-		c.p.sendData(c.node, to, a, version)
-	})
+	c.p.sendAfter(c.p.cfg.L2Latency,
+		coherence.Msg{Kind: coherence.Data, Addr: a, From: c.node, Requestor: to, Version: version}, to)
 }
 
 // handleData consumes a Data message from the data fabric. It returns
@@ -677,9 +748,10 @@ func (c *sCacheCtrl) installStable(a coherence.Addr, st SState, version uint64) 
 func (c *sCacheCtrl) finish(t *sReqTBE) {
 	c.p.st.MissLatency.Observe(uint64(c.p.k.Now() - t.start))
 	done := t.done
+	t.done = nil
 	c.req = nil
 	if done != nil {
-		c.p.after(0, done)
+		c.p.doneAfter(0, done)
 	}
 }
 
@@ -756,7 +828,6 @@ func (m *memCtrl) OnOrdered(_ uint64, msg coherence.Msg) {
 
 func (m *memCtrl) supply(to coherence.NodeID, a coherence.Addr) {
 	version := m.store.Read(a)
-	m.p.after(m.p.cfg.MemLatency, func() {
-		m.p.sendData(m.node, to, a, version)
-	})
+	m.p.sendAfter(m.p.cfg.MemLatency,
+		coherence.Msg{Kind: coherence.Data, Addr: a, From: m.node, Requestor: to, Version: version}, to)
 }

@@ -1,0 +1,87 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// stressSeeds are the pseudo-random replay seeds for the cross-protocol
+// stress suite. The list is fixed so CI is deterministic; a failure
+// message carries the exact seed (and configuration) that reproduces it
+// — rerun with that seed to replay the violation bit for bit.
+var stressSeeds = []uint64{0x5eed0001, 0xbadc0ffe}
+
+// stressCases add geometry and fault-injection variety on top of the
+// kind × workload grid: the plain 4×4 machine, a recovery-hammered 4×4
+// machine (rollback is when invariants are easiest to break), and the
+// 64-node scaling geometry.
+type stressCase struct {
+	name          string
+	width, height int
+	injectEvery   sim.Time // recovery injection period in cycles (0 = off)
+	cycles        sim.Time
+}
+
+var stressCases = []stressCase{
+	{name: "4x4", width: 4, height: 4, cycles: 120_000},
+	{name: "4x4-inject", width: 4, height: 4, injectEvery: 7_000, cycles: 120_000},
+	{name: "8x8", width: 8, height: 8, cycles: 60_000},
+}
+
+// TestCrossKindInvariantStress runs randomized-workload simulations over
+// all four system Kinds × the five-workload evaluation suite and calls
+// AuditInvariants at every SafetyNet checkpoint (the system is quiesced
+// there by construction). Any violation reports the replay seed.
+func TestCrossKindInvariantStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress suite skipped in -short mode")
+	}
+	kinds := []Kind{DirectoryFull, DirectorySpec, SnoopFull, SnoopSpec}
+	for _, sc := range stressCases {
+		for _, kind := range kinds {
+			for _, wl := range workload.Suite {
+				sc, kind, wl := sc, kind, wl
+				t.Run(sc.name+"/"+kind.String()+"/"+wl.Name, func(t *testing.T) {
+					t.Parallel()
+					for _, seed := range stressSeeds {
+						runStressCase(t, sc, kind, wl, seed)
+					}
+				})
+			}
+		}
+	}
+}
+
+func runStressCase(t *testing.T, sc stressCase, kind Kind, wl workload.Profile, seed uint64) {
+	t.Helper()
+	cfg := DefaultConfigSized(kind, wl, sc.width, sc.height)
+	cfg.Seed = seed
+	cfg.CheckpointInterval = 2_000
+	cfg.SnoopCheckpointRequests = 200
+	cfg.TimeoutCycles = 0 // deadlock-free fabrics; the audit is the detector here
+	cfg.InjectRecoveryEvery = sc.injectEvery
+	replay := fmt.Sprintf("replay: kind=%s workload=%s geom=%s seed=%#x",
+		kind, wl.Name, sc.name, seed)
+	s := Build(cfg)
+	audits := 0
+	s.OnCheckpoint = func() {
+		audits++
+		if err := s.AuditInvariants(); err != nil {
+			t.Fatalf("invariant violation at checkpoint %d (%s): %v", audits, replay, err)
+		}
+	}
+	s.Start()
+	res := s.Run(sc.cycles)
+	if res.Instructions == 0 {
+		t.Fatalf("no forward progress (%s)", replay)
+	}
+	if audits < 5 {
+		t.Fatalf("only %d checkpoints audited — the stress proves nothing (%s)", audits, replay)
+	}
+	if sc.injectEvery > 0 && res.Recoveries == 0 {
+		t.Fatalf("injection produced no recoveries (%s)", replay)
+	}
+}

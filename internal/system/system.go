@@ -116,9 +116,19 @@ type Config struct {
 // DefaultConfig returns the paper's Table 2 system for the given kind
 // and workload: 16 nodes on a 4x4 torus.
 func DefaultConfig(kind Kind, wl workload.Profile) Config {
+	return DefaultConfigSized(kind, wl, 4, 4)
+}
+
+// DefaultConfigSized returns the Table 2 system scaled to a w×h torus —
+// the paper's machine at 4×4, the scaling study's 64-node machine at
+// 8×8. Everything geometry-dependent derives from w and h: the torus
+// networks, the snooping bus delivery latency (which grows with the
+// torus diameter), and the node count. The directory protocol's sharer
+// bitmaps cap the machine at 64 nodes.
+func DefaultConfigSized(kind Kind, wl workload.Profile, w, h int) Config {
 	cfg := Config{
 		Kind:                    kind,
-		Nodes:                   16,
+		Nodes:                   w * h,
 		Workload:                wl,
 		Seed:                    1,
 		CheckpointInterval:      100_000,
@@ -131,14 +141,14 @@ func DefaultConfig(kind Kind, wl workload.Profile) Config {
 	case DirectoryFull:
 		// The full protocol tolerates reordering: pair it with the
 		// adaptive network by default.
-		cfg.Net = network.AdaptiveConfig(4, 4, 0.8)
+		cfg.Net = network.AdaptiveConfig(w, h, 0.8)
 	case DirectorySpec:
-		cfg.Net = network.AdaptiveConfig(4, 4, 0.8)
+		cfg.Net = network.AdaptiveConfig(w, h, 0.8)
 		cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
 	default:
 		// Snooping: the data network is an ordered-agnostic torus.
-		cfg.Net = network.SafeStaticConfig(4, 4, 0.8)
-		cfg.Bus = snoop.DefaultBusConfig(16)
+		cfg.Net = network.SafeStaticConfig(w, h, 0.8)
+		cfg.Bus = snoop.ScaledBusConfig(w, h)
 	}
 	return cfg
 }
@@ -155,10 +165,28 @@ type System struct {
 	Mgr   *safetynet.Manager
 	Coord *core.Coordinator
 
+	// OnCheckpoint, when non-nil, runs immediately after every
+	// checkpoint is taken — a point where the system is quiesced (no
+	// in-flight transactions), which is exactly what invariant audits
+	// require. The cross-protocol stress suite hooks it to call
+	// AuditInvariants at every checkpoint.
+	OnCheckpoint func()
+
 	checkpointing   bool
 	checkpointGen   uint64
 	startedAt       sim.Time
 	checkpointStall stats.Counter
+}
+
+// AuditInvariants verifies the active protocol's global coherence
+// invariants (single writer, version agreement, memory currency). The
+// system must be quiescent — call it from OnCheckpoint, or after a
+// drained run.
+func (s *System) AuditInvariants() error {
+	if s.Dir != nil {
+		return s.Dir.AuditInvariants()
+	}
+	return s.Snoop.AuditInvariants()
 }
 
 // Build constructs the system. It panics on invalid configuration.
@@ -253,6 +281,9 @@ func Build(cfg Config) *System {
 func (s *System) Start() {
 	s.startedAt = s.K.Now()
 	s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+	if s.OnCheckpoint != nil {
+		s.OnCheckpoint()
+	}
 	s.Pool.Start()
 
 	if s.Cfg.Kind.IsDirectory() {
@@ -304,6 +335,9 @@ func (s *System) attemptCheckpoint() {
 		s.Pool.Pause()
 		if s.inFlight() == 0 {
 			s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+			if s.OnCheckpoint != nil {
+				s.OnCheckpoint()
+			}
 			s.checkpointStall.Add(uint64(s.K.Now() - began))
 			lat := s.Mgr.Config().RegCkptLatency
 			s.Pool.Resume(s.K.Now() + lat)

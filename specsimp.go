@@ -192,4 +192,12 @@ var (
 	SnoopTable      = experiments.SnoopTable
 	BufferSweep     = experiments.BufferSweep
 	BufferTable     = experiments.BufferTable
+	ScaleSweep      = experiments.ScaleSweep
+	ScaleTable      = experiments.ScaleTable
 )
+
+// DefaultConfigSized returns the Table 2 system scaled to a w×h torus
+// (up to 8×8 = 64 nodes, the directory sharer-bitmap ceiling).
+func DefaultConfigSized(kind Kind, wl Workload, w, h int) Config {
+	return system.DefaultConfigSized(kind, wl, w, h)
+}
