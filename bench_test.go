@@ -232,8 +232,8 @@ func BenchmarkRunnerGrid(b *testing.B) {
 			Workload:   "none",
 			Params:     map[string]string{"i": strconv.Itoa(i)},
 			Seed:       runner.PerturbSeed(1, i),
-			Run: func(seed uint64) runner.Metrics {
-				return runner.Metrics{Perf: float64(seed)}
+			Run: func(seed uint64) (runner.Metrics, error) {
+				return runner.Metrics{Perf: float64(seed)}, nil
 			},
 		}
 	}

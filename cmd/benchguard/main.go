@@ -1,0 +1,63 @@
+// Command benchguard gates CI's bench smoke on the recorded benchmark
+// trajectory: it parses `go test -bench -benchmem` output and fails
+// (exit 1) when a baselined benchmark regressed past the thresholds, or
+// disappeared from the output entirely.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | tee bench.out
+//	go run ./cmd/benchguard -baseline BENCH_kernel.json -input bench.out
+//
+// ns/op comparisons across hosts are inherently noisy — the threshold
+// is a gross-regression tripwire, while allocs/op is deterministic and
+// the hard gate (see BENCH_kernel.json's comment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"specsimp/internal/benchcheck"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		baseline = flag.String("baseline", "BENCH_kernel.json", "benchmark trajectory file to compare against")
+		input    = flag.String("input", "-", "bench output to check ('-' = stdin)")
+		nsTol    = flag.Float64("ns-threshold", 0.25, "allowed fractional ns/op regression")
+		allocTol = flag.Float64("allocs-threshold", 0.25, "allowed fractional allocs/op regression")
+	)
+	flag.Parse()
+
+	base, err := benchcheck.LoadBaselines(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	measured, err := benchcheck.ParseBenchOutput(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines, failed := benchcheck.Compare(base, measured, benchcheck.Thresholds{NsPerOp: *nsTol, AllocsPerOp: *allocTol})
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		log.Fatalf("benchmark regression beyond thresholds (ns/op +%.0f%%, allocs/op +%.0f%%) vs %s",
+			100**nsTol, 100**allocTol, *baseline)
+	}
+	fmt.Printf("benchguard: %d benchmarks within thresholds of %s\n", len(base), *baseline)
+}

@@ -8,7 +8,7 @@
 //	sweep -exp reorder            # §5.3 reorder rates vs link bandwidth
 //	sweep -exp snoop              # §5.3 snooping recoveries
 //	sweep -exp buffers            # §5.3 interconnect buffer sweep
-//	sweep -exp scale64            # scaling study: 16 vs 64 nodes
+//	sweep -exp scale64            # scaling study: 16 -> 64 -> 256 nodes
 //	sweep -exp slowstart          # ablation A2
 //	sweep -exp deflection         # ablation A4
 //	sweep -exp reenable           # ablation A5
@@ -150,7 +150,7 @@ func main() {
 		})
 	}
 	if all || *exp == "scale64" {
-		run("scale64", "Scaling study: 4x4 vs 8x8 (64-node) machines, both Spec protocols", func() interface{} {
+		run("scale64", "Scaling study: 4x4 -> 8x8 -> 16x16, both Spec protocols (directory-only at 256 nodes)", func() interface{} {
 			res := specsimp.ScaleSweep(p)
 			if !*asJSON {
 				fmt.Println(specsimp.ScaleTable(res))

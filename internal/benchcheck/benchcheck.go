@@ -1,0 +1,150 @@
+// Package benchcheck compares `go test -bench` output against the
+// benchmark trajectory recorded in BENCH_kernel.json, so CI's bench
+// smoke can fail on regressions instead of silently printing numbers.
+// The trajectory file's note applies here too: ns/op is host-dependent
+// (compare ratios with a generous threshold); allocs/op is not, and is
+// the hard signal.
+package benchcheck
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one parsed benchmark result line.
+type Measurement struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// ParseBenchOutput extracts benchmark measurements from `go test -bench
+// -benchmem` output. Names are normalized by stripping the -GOMAXPROCS
+// suffix; extra ReportMetric columns are ignored.
+func ParseBenchOutput(r io.Reader) (map[string]Measurement, error) {
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m Measurement
+		for i := 1; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if m.NsPerOp > 0 {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// baselineFile mirrors the BENCH_kernel.json layout; unknown fields are
+// ignored so the trajectory file can carry commentary.
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		History []struct {
+			PR          int     `json:"pr"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			BytesPerOp  float64 `json:"bytes_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"history"`
+	} `json:"benchmarks"`
+}
+
+// LoadBaselines reads the newest history entry per benchmark from a
+// BENCH_kernel.json-shaped trajectory file.
+func LoadBaselines(path string) (map[string]Measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchcheck: parse %s: %w", path, err)
+	}
+	out := map[string]Measurement{}
+	for name, b := range f.Benchmarks {
+		if len(b.History) == 0 {
+			continue
+		}
+		last := b.History[len(b.History)-1]
+		out[name] = Measurement{NsPerOp: last.NsPerOp, BytesPerOp: last.BytesPerOp, AllocsPerOp: last.AllocsPerOp}
+	}
+	return out, nil
+}
+
+// Thresholds are the allowed fractional regressions before Compare
+// flags a benchmark (0.25 = fail beyond +25%).
+type Thresholds struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// Compare checks every baselined benchmark against the measured set and
+// returns human-readable verdict lines plus whether any regression (or
+// missing benchmark — bench bit-rot) was found. Benchmarks measured but
+// not baselined are ignored: the trajectory file decides what gates.
+func Compare(baseline, measured map[string]Measurement, th Thresholds) (lines []string, failed bool) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		got, ok := measured[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("FAIL %s: baselined benchmark missing from output (bit-rot?)", name))
+			failed = true
+			continue
+		}
+		check := func(metric string, b, g, limit float64, gateFromZero bool) {
+			if b <= 0 {
+				// A zero allocs/op baseline is a real (and prized) value:
+				// any allocation at all is a regression. A zero ns/op
+				// baseline just means the metric was never recorded.
+				if gateFromZero && g > 0 {
+					lines = append(lines, fmt.Sprintf("FAIL %s %s: %.0f vs zero baseline", name, metric, g))
+					failed = true
+				}
+				return
+			}
+			ratio := g / b
+			verdict := "ok"
+			if ratio > 1+limit {
+				verdict = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%-4s %s %s: %.0f vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				verdict, name, metric, g, b, 100*(ratio-1), 100*limit))
+		}
+		check("ns/op", base.NsPerOp, got.NsPerOp, th.NsPerOp, false)
+		check("allocs/op", base.AllocsPerOp, got.AllocsPerOp, th.AllocsPerOp, true)
+	}
+	return lines, failed
+}

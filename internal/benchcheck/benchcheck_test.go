@@ -1,0 +1,108 @@
+package benchcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: specsimp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunOne-4            30    41000000 ns/op    100000 sim-cycles/op    48719176 B/op    34704 allocs/op
+BenchmarkRunnerGrid-4      47000       24571 ns/op       256 points/op          65640 B/op        4 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	m, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := m["BenchmarkRunOne"]
+	if !ok {
+		t.Fatalf("BenchmarkRunOne missing: %v", m)
+	}
+	if r.NsPerOp != 41000000 || r.AllocsPerOp != 34704 || r.BytesPerOp != 48719176 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if g := m["BenchmarkRunnerGrid"]; g.AllocsPerOp != 4 {
+		t.Fatalf("grid parsed %+v", g)
+	}
+}
+
+const sampleBaseline = `{
+  "comment": "test fixture",
+  "benchmarks": {
+    "BenchmarkRunOne": {"history": [
+      {"pr": 1, "ns_per_op": 67250048, "allocs_per_op": 286057},
+      {"pr": 2, "ns_per_op": 40826126, "allocs_per_op": 34704}
+    ]},
+    "BenchmarkRunnerGrid": {"history": [
+      {"pr": 2, "ns_per_op": 24571, "allocs_per_op": 4}
+    ]}
+  }
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaselinesTakesNewestEntry(t *testing.T) {
+	base, err := LoadBaselines(writeBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["BenchmarkRunOne"].NsPerOp; got != 40826126 {
+		t.Fatalf("ns baseline %v, want the PR-2 entry", got)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base, err := LoadBaselines(writeBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := Thresholds{NsPerOp: 0.25, AllocsPerOp: 0.25}
+
+	// Within thresholds (slightly slower, same allocs): passes.
+	ok := map[string]Measurement{
+		"BenchmarkRunOne":     {NsPerOp: 45000000, AllocsPerOp: 34704},
+		"BenchmarkRunnerGrid": {NsPerOp: 30000, AllocsPerOp: 5},
+	}
+	if lines, failed := Compare(base, ok, th); failed {
+		t.Fatalf("within-threshold run failed:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// 26% more allocs: fails even with fast ns/op.
+	regressed := map[string]Measurement{
+		"BenchmarkRunOne":     {NsPerOp: 30000000, AllocsPerOp: 43800},
+		"BenchmarkRunnerGrid": {NsPerOp: 24571, AllocsPerOp: 4},
+	}
+	lines, failed := Compare(base, regressed, th)
+	if !failed {
+		t.Fatalf("alloc regression passed:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// A baselined benchmark missing from the output is bit-rot: fail.
+	if _, failed := Compare(base, map[string]Measurement{"BenchmarkRunOne": ok["BenchmarkRunOne"]}, th); !failed {
+		t.Fatal("missing baselined benchmark passed")
+	}
+
+	// A zero allocs/op baseline gates any allocation at all; a zero
+	// ns/op baseline just means the metric was never recorded.
+	zeroBase := map[string]Measurement{"BenchmarkZero": {NsPerOp: 0, AllocsPerOp: 0}}
+	if _, failed := Compare(zeroBase, map[string]Measurement{"BenchmarkZero": {NsPerOp: 100, AllocsPerOp: 0}}, th); failed {
+		t.Fatal("unrecorded ns/op baseline failed a clean run")
+	}
+	if _, failed := Compare(zeroBase, map[string]Measurement{"BenchmarkZero": {NsPerOp: 100, AllocsPerOp: 1}}, th); !failed {
+		t.Fatal("regression from zero allocs/op passed")
+	}
+}

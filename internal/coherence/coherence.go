@@ -135,6 +135,10 @@ func SizeOf(k MsgKind) int {
 // tells a GetM requestor how many invalidation Acks to expect; Stale
 // marks a WBAck sent while a forwarded request to the same node is still
 // outstanding (used only by the Full directory variant's race handling).
+// Imprecise marks an Inv fanned out from a conservative (overflowed
+// limited-pointer or coarse-vector) sharer set: the target may never
+// have shared the block, so receivers ack states that would otherwise
+// be illegal-transition detection points.
 type Msg struct {
 	Kind      MsgKind
 	Addr      Addr
@@ -143,10 +147,11 @@ type Msg struct {
 	Version   uint64
 	AckCount  int
 	Stale     bool
+	Imprecise bool
 	TID       uint64 // transaction id, for duplicate-data tolerance
 }
 
 func (m Msg) String() string {
-	return fmt.Sprintf("%s addr=%#x from=%d req=%d v=%d acks=%d stale=%v tid=%d",
-		m.Kind, uint64(m.Addr), m.From, m.Requestor, m.Version, m.AckCount, m.Stale, m.TID)
+	return fmt.Sprintf("%s addr=%#x from=%d req=%d v=%d acks=%d stale=%v imprecise=%v tid=%d",
+		m.Kind, uint64(m.Addr), m.From, m.Requestor, m.Version, m.AckCount, m.Stale, m.Imprecise, m.TID)
 }

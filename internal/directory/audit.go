@@ -100,9 +100,11 @@ func (p *Protocol) AuditInvariants() error {
 			}
 		}
 		// Sharer bookkeeping: every actual S holder must be recorded
-		// (stale extras are fine: S evictions are silent).
+		// (stale extras are fine: S evictions are silent, and the
+		// limited-pointer / coarse-vector formats are conservative
+		// supersets by construction).
 		for _, ci := range cs {
-			if ci.state == CS && e.sharers&bit(coherence.NodeID(ci.node)) == 0 && e.owner != ci.node {
+			if ci.state == CS && !e.sharers.mayContain(p.lay, ci.node) && e.owner != ci.node {
 				return fmt.Errorf("block %#x: node %d holds S but is not in dir sharer set", uint64(a), ci.node)
 			}
 		}

@@ -2,7 +2,6 @@ package directory
 
 import (
 	"fmt"
-	"math/bits"
 
 	"specsimp/internal/coherence"
 	"specsimp/internal/mem"
@@ -11,11 +10,12 @@ import (
 
 // dirEntry is the stable directory state for one block. Busy (in-flight
 // transaction) bookkeeping lives in dirCtrl.busy so checkpoints only
-// ever see stable states.
+// ever see stable states. The sharer set's interpretation (bitmap,
+// limited-pointer, coarse vector) is the protocol-wide sharerLayout.
 type dirEntry struct {
 	state   DState
 	owner   int // node id, -1 when none
-	sharers uint64
+	sharers sharerSet
 }
 
 // busyInfo tracks the single in-flight transaction for a block; the
@@ -39,6 +39,31 @@ type dirCtrl struct {
 	queue   map[coherence.Addr][]coherence.Msg
 	// busyFree recycles busyInfo records across transactions.
 	busyFree pool.FreeList[busyInfo]
+	// invScratch is the reusable invalidation-target buffer: sharer-set
+	// expansion fills it once per GetM, so fan-out stays allocation-free
+	// in steady state.
+	invScratch []int
+}
+
+// invTargets expands e's sharer set into the nodes that must be
+// invalidated on behalf of requestor req: every conservative member
+// except req itself and the recorded owner (the owner is reached by a
+// forward, never an Inv; imprecise formats may name it as a sharer).
+// The returned slice is d.invScratch, valid until the next call.
+func (d *dirCtrl) invTargets(e *dirEntry, req coherence.NodeID) []int {
+	d.invScratch = e.sharers.appendMembers(d.p.lay, d.invScratch[:0])
+	kept := d.invScratch[:0]
+	for _, n := range d.invScratch {
+		if n != int(req) && n != e.owner {
+			kept = append(kept, n)
+		}
+	}
+	if e.sharers.broadcast() && len(kept) > 0 {
+		// Dir_i_B overflow: this fan-out is a broadcast to every node,
+		// the cost the limited-pointer format trades for its width.
+		d.p.st.InvBroadcasts.Inc()
+	}
+	return kept
 }
 
 func (d *dirCtrl) entry(a coherence.Addr) *dirEntry {
@@ -89,7 +114,15 @@ func (d *dirCtrl) handle(msg coherence.Msg) {
 	}
 }
 
-func bit(n coherence.NodeID) uint64 { return 1 << uint(n) }
+// addSharer adds node to a sharer set, counting the Dir_i_B overflow
+// transition (exact pointers exhausted, entry degrades to broadcast).
+func (d *dirCtrl) addSharer(s sharerSet, n coherence.NodeID) sharerSet {
+	ns := s.with(d.p.lay, int(n))
+	if ns.broadcast() && !s.broadcast() {
+		d.p.st.SharerOverflows.Inc()
+	}
+	return ns
+}
 
 func (d *dirCtrl) process(msg coherence.Msg) {
 	a := msg.Addr
@@ -104,20 +137,25 @@ func (d *dirCtrl) process(msg coherence.Msg) {
 	case coherence.GetS:
 		switch e.state {
 		case DInv, DS:
-			b.complete = dirEntry{state: DS, owner: -1, sharers: e.sharers | bit(req)}
+			b.complete = dirEntry{state: DS, owner: -1, sharers: d.addSharer(e.sharers, req)}
 			d.sendDataFromMem(a, req, 0, b.tid)
 		case DM:
-			b.complete = dirEntry{state: DO, owner: e.owner, sharers: bit(req)}
+			b.complete = dirEntry{state: DO, owner: e.owner, sharers: d.addSharer(sharerSet{}, req)}
 			b.fwdTo = e.owner
 			d.fwd(coherence.FwdGetS, a, e.owner, req, 0, b.tid)
 		case DO:
-			b.complete = dirEntry{state: DO, owner: e.owner, sharers: e.sharers | bit(req)}
+			b.complete = dirEntry{state: DO, owner: e.owner, sharers: d.addSharer(e.sharers, req)}
 			b.fwdTo = e.owner
 			d.fwd(coherence.FwdGetS, a, e.owner, req, 0, b.tid)
 		}
 	case coherence.GetM:
-		others := e.sharers &^ bit(req)
-		acks := bits.OnesCount64(others)
+		// Invalidation fan-out: every conservative sharer except the
+		// requestor and the owner. The ack count handed to the requestor
+		// is exactly the number of Invs sent, so imprecise formats cost
+		// extra (stale-acked) Invs, never a hung transaction.
+		targets := d.invTargets(e, req)
+		imprecise := d.p.lay.imprecise(e.sharers)
+		acks := len(targets)
 		b.complete = dirEntry{state: DM, owner: int(req)}
 		b.acks = acks
 		switch {
@@ -125,7 +163,7 @@ func (d *dirCtrl) process(msg coherence.Msg) {
 			d.sendDataFromMem(a, req, 0, b.tid)
 		case e.state == DS:
 			d.sendDataFromMem(a, req, acks, b.tid)
-			d.sendInvs(a, others, req)
+			d.sendInvs(a, targets, req, imprecise)
 		case e.state == DM && e.owner != int(req):
 			b.fwdTo = e.owner
 			d.fwd(coherence.FwdGetM, a, e.owner, req, 0, b.tid)
@@ -134,11 +172,11 @@ func (d *dirCtrl) process(msg coherence.Msg) {
 			// keeps its own (freshest) data, so the memory version in
 			// this Data is informational only.
 			d.sendDataFromMem(a, req, acks, b.tid)
-			d.sendInvs(a, others, req)
+			d.sendInvs(a, targets, req, imprecise)
 		case e.state == DO:
 			b.fwdTo = e.owner
 			d.fwd(coherence.FwdGetM, a, e.owner, req, acks, b.tid)
-			d.sendInvs(a, others, req)
+			d.sendInvs(a, targets, req, imprecise)
 		default:
 			d.unspecifiedDir(e.state, DEvGetM, msg)
 		}
@@ -206,11 +244,11 @@ func (d *dirCtrl) handlePutM(msg coherence.Msg) {
 		d.logMem(a)
 		d.store.Write(a, msg.Version)
 		e.owner = -1
-		if e.state == DO && e.sharers != 0 {
+		if e.state == DO && !e.sharers.isEmpty() {
 			e.state = DS
 		} else {
 			e.state = DInv
-			e.sharers = 0
+			e.sharers = sharerSet{}
 		}
 		d.sendWBAck(a, from, false, 0)
 	default:
@@ -270,14 +308,12 @@ func (d *dirCtrl) fwd(kind coherence.MsgKind, a coherence.Addr, owner int, req c
 	}, coherence.NodeID(owner))
 }
 
-func (d *dirCtrl) sendInvs(a coherence.Addr, targets uint64, req coherence.NodeID) {
-	for n := 0; targets != 0; n++ {
-		if targets&1 != 0 {
-			d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
-				Kind: coherence.Inv, Addr: a, From: d.node, Requestor: req,
-			}, coherence.NodeID(n))
-		}
-		targets >>= 1
+func (d *dirCtrl) sendInvs(a coherence.Addr, targets []int, req coherence.NodeID, imprecise bool) {
+	for _, n := range targets {
+		d.p.st.Invalidations.Inc()
+		d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
+			Kind: coherence.Inv, Addr: a, From: d.node, Requestor: req, Imprecise: imprecise,
+		}, coherence.NodeID(n))
 	}
 }
 

@@ -18,6 +18,15 @@ type Config struct {
 	Nodes   int
 	Variant Variant
 
+	// Sharers selects the directory entry's sharer-set representation
+	// (the zero value, FullBitmap, is exact and caps the machine at 64
+	// nodes). SharerPointers sizes LimitedPointer entries (0 = Dir_4_B);
+	// SharerClusterSize sizes CoarseVector clusters (0 = narrowest
+	// cluster that fits 64 vector bits). See Validate.
+	Sharers           SharerFormat
+	SharerPointers    int
+	SharerClusterSize int
+
 	L1Bytes, L1Ways int
 	L2Bytes, L2Ways int
 
@@ -32,11 +41,14 @@ type Config struct {
 	TimeoutCycles sim.Time
 }
 
-// DefaultConfig returns Table 2 parameters for n nodes.
+// DefaultConfig returns Table 2 parameters for n nodes. The sharer-set
+// format is geometry-derived: exact bitmaps up to 64 nodes, limited
+// pointers with broadcast overflow beyond.
 func DefaultConfig(n int, v Variant) Config {
 	return Config{
 		Nodes:   n,
 		Variant: v,
+		Sharers: DefaultSharerFormat(n),
 		L1Bytes: 128 * 1024, L1Ways: 4,
 		L2Bytes: 4 * 1024 * 1024, L2Ways: 4,
 		L1Latency:  1,
@@ -64,6 +76,9 @@ type Stats struct {
 	MissLatency      stats.Histogram
 	TimeoutsDetected stats.Counter
 	OrderViolations  stats.Counter // Spec: detected p2p-ordering mis-speculations
+	Invalidations    stats.Counter // Inv messages sent by directories
+	InvBroadcasts    stats.Counter // inv fan-outs performed in Dir_i_B broadcast mode
+	SharerOverflows  stats.Counter // limited-pointer entries degraded to broadcast
 }
 
 // Protocol is a complete 16-node (configurable) MOSI directory protocol
@@ -74,6 +89,7 @@ type Protocol struct {
 	k   *sim.Kernel
 	net network.Fabric
 	cfg Config
+	lay sharerLayout // resolved sharer-set interpretation (from cfg)
 	log UndoLogger
 
 	// OnMisSpeculation is invoked on a detected mis-speculation (Spec
@@ -141,17 +157,31 @@ func (p *Protocol) doneAfter(d sim.Time, done func()) {
 }
 
 // New builds the protocol over an existing network fabric; the fabric's
-// clients for all nodes are claimed by the protocol.
+// clients for all nodes are claimed by the protocol. It panics on an
+// invalid configuration; callers that want oversize machines reported
+// as errors (before kernels and networks exist) use NewChecked, or
+// validate Config up front as system.BuildChecked does.
 func New(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) *Protocol {
+	p, err := NewChecked(k, net, cfg, log)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewChecked is New with configuration errors returned instead of
+// panicking: a node count the configured sharer-set format cannot
+// represent (e.g. more than 64 nodes on a full bitmap) is a config
+// error, not a crash.
+func NewChecked(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) (*Protocol, error) {
 	if cfg.Nodes != net.NumNodes() {
-		panic("directory: node count differs from network size")
+		return nil, fmt.Errorf("directory: %d nodes differ from network size %d", cfg.Nodes, net.NumNodes())
 	}
-	if cfg.Nodes > 64 {
-		// The directory entry tracks sharers in one 64-bit mask; 64
-		// nodes (the 8×8 scaling design point) is the ceiling.
-		panic("directory: at most 64 nodes (sharer bitmaps)")
+	lay, err := cfg.sharerLayout()
+	if err != nil {
+		return nil, err
 	}
-	p := &Protocol{k: k, net: net, cfg: cfg, log: log}
+	p := &Protocol{k: k, net: net, cfg: cfg, lay: lay, log: log}
 	p.caches = make([]*cacheCtrl, cfg.Nodes)
 	p.dirs = make([]*dirCtrl, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -176,7 +206,7 @@ func New(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) *Protoco
 			return p.deliver(coherence.NodeID(i), m)
 		}))
 	}
-	return p
+	return p, nil
 }
 
 // Stats exposes protocol counters.
@@ -752,7 +782,20 @@ func (c *cacheCtrl) handleInv(msg coherence.Msg) {
 		}
 	}
 	if c.wb != nil && c.wb.addr == msg.Addr {
-		c.unspecifiedCache(c.wb.state, EvInv, msg)
+		// Under exact sharer tracking the owner is never in the sharer
+		// set, so an Inv landing on a pending writeback is still an
+		// illegal transition — keep the detection point. An imprecise
+		// fan-out (overflowed limited-pointer entry, coarse cluster) can
+		// legitimately name an ex-owner whose writeback the directory
+		// already absorbed; the TBE's copy is dead to the protocol
+		// (memory or the new owner has the data) and acking closes the
+		// requestor's count. The directory flags that case per message,
+		// so exact entries of every format stay armed.
+		if !msg.Imprecise {
+			c.unspecifiedCache(c.wb.state, EvInv, msg)
+			return
+		}
+		ack()
 		return
 	}
 	line := c.l2.Peek(msg.Addr)

@@ -1,0 +1,218 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+
+	"specsimp/internal/sim"
+)
+
+// sharerConfigs are the representative layouts the property test drives:
+// every format, at geometries below and above the bitmap ceiling, with
+// pointer/cluster sizing that forces overflow and intra-cluster
+// aliasing to actually happen.
+var sharerConfigs = []Config{
+	{Nodes: 16, Sharers: FullBitmap},
+	{Nodes: 64, Sharers: FullBitmap},
+	{Nodes: 16, Sharers: LimitedPointer, SharerPointers: 2},
+	{Nodes: 64, Sharers: LimitedPointer}, // default Dir_4_B
+	{Nodes: 256, Sharers: LimitedPointer, SharerPointers: 8},
+	{Nodes: 64, Sharers: CoarseVector, SharerClusterSize: 4},
+	{Nodes: 256, Sharers: CoarseVector},                       // default cluster size 4
+	{Nodes: 250, Sharers: CoarseVector, SharerClusterSize: 7}, // ragged final cluster
+}
+
+// checkAgainstOracle verifies one sharerSet against the exact oracle:
+// conservative-superset always; exact where the format can represent
+// the set (bitmap always, limited-pointer before overflow, coarse
+// vector at cluster granularity); members ascending and in range.
+func checkAgainstOracle(t *testing.T, lay sharerLayout, s sharerSet, oracle map[int]bool) {
+	t.Helper()
+	for n := range oracle {
+		if !s.mayContain(lay, n) {
+			t.Fatalf("%v: dropped sharer %d (oracle %v)", lay, n, oracle)
+		}
+	}
+	if s.isEmpty() && len(oracle) > 0 {
+		t.Fatalf("%v: set empty but oracle holds %v", lay, oracle)
+	}
+	exact := lay.format == FullBitmap || (lay.format == LimitedPointer && !s.broadcast())
+	members := s.appendMembers(lay, nil)
+	last := -1
+	for _, m := range members {
+		if m <= last {
+			t.Fatalf("%v: members not strictly ascending: %v", lay, members)
+		}
+		if m < 0 || m >= lay.nodes {
+			t.Fatalf("%v: member %d out of range", lay, m)
+		}
+		last = m
+	}
+	switch {
+	case exact:
+		if len(members) != len(oracle) {
+			t.Fatalf("%v: exact format diverged: members %v oracle %v", lay, members, oracle)
+		}
+		for _, m := range members {
+			if !oracle[m] {
+				t.Fatalf("%v: phantom member %d (oracle %v)", lay, m, oracle)
+			}
+		}
+		if s.isEmpty() != (len(oracle) == 0) {
+			t.Fatalf("%v: emptiness diverged", lay)
+		}
+	case lay.format == CoarseVector:
+		// Cluster-exact: a node is claimed iff its cluster has (or had,
+		// absent removals) a member. Since removals never clear cluster
+		// bits, claimed clusters must be a superset of oracle clusters
+		// and every member must come from a claimed cluster.
+		claimed := map[int]bool{}
+		for _, m := range members {
+			claimed[m/lay.cluster] = true
+		}
+		for n := range oracle {
+			if !claimed[n/lay.cluster] {
+				t.Fatalf("%v: oracle node %d's cluster not claimed", lay, n)
+			}
+		}
+	default: // limited-pointer in broadcast mode
+		if len(members) != lay.nodes {
+			t.Fatalf("%v: broadcast mode must claim all %d nodes, got %d", lay, lay.nodes, len(members))
+		}
+	}
+}
+
+// TestSharerSetPropertyVsOracle drives random add/remove/drain/recovery
+// sequences through every representation with an exact set as oracle:
+// the representations must be exact where representable and
+// conservative supersets everywhere else. The recovery op mirrors the
+// protocol's undo-log discipline — entries are snapshotted by value and
+// restored by assignment — so it proves value-copy semantics hold.
+func TestSharerSetPropertyVsOracle(t *testing.T) {
+	for ci, cfg := range sharerConfigs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%d-%s-%dnodes", ci, cfg.Sharers, cfg.Nodes), func(t *testing.T) {
+			lay, err := cfg.sharerLayout()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sim.NewRNG(0xc0ffee + uint64(ci))
+			var s sharerSet
+			oracle := map[int]bool{}
+			type snap struct {
+				s      sharerSet
+				oracle map[int]bool
+			}
+			var undo []snap
+			for op := 0; op < 4000; op++ {
+				switch r.Intn(100) {
+				case 0, 1: // drain (recovery reset / PutM to DInv)
+					s = sharerSet{}
+					oracle = map[int]bool{}
+				case 2, 3, 4: // checkpoint: snapshot by value
+					o := map[int]bool{}
+					for n := range oracle {
+						o[n] = true
+					}
+					undo = append(undo, snap{s: s, oracle: o})
+				case 5, 6: // recovery: restore the newest snapshot
+					if len(undo) > 0 {
+						sn := undo[len(undo)-1]
+						undo = undo[:len(undo)-1]
+						s = sn.s
+						oracle = map[int]bool{}
+						for n := range sn.oracle {
+							oracle[n] = true
+						}
+					}
+				default:
+					n := r.Intn(lay.nodes)
+					if r.Bool(0.35) {
+						// Conservative formats may keep n as a stale member
+						// (coarse clusters, broadcast mode) — the superset
+						// obligation against the shrunken oracle still holds.
+						s = s.without(lay, n)
+						delete(oracle, n)
+					} else {
+						s = s.with(lay, n)
+						oracle[n] = true
+					}
+				}
+				checkAgainstOracle(t, lay, s, oracle)
+			}
+		})
+	}
+}
+
+// TestSharerSetOverflowSemantics pins the Dir_i_B contract: the i+1'th
+// distinct sharer flips the entry to broadcast mode, re-adding an
+// existing pointer never does, and a drain restores precision.
+func TestSharerSetOverflowSemantics(t *testing.T) {
+	cfg := Config{Nodes: 256, Sharers: LimitedPointer, SharerPointers: 3}
+	lay, err := cfg.sharerLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s sharerSet
+	for _, n := range []int{10, 20, 30} {
+		s = s.with(lay, n)
+	}
+	if s.broadcast() {
+		t.Fatal("overflowed at capacity")
+	}
+	s = s.with(lay, 20) // duplicate: still exact
+	if s.broadcast() {
+		t.Fatal("duplicate add overflowed")
+	}
+	if got := s.appendMembers(lay, nil); len(got) != 3 {
+		t.Fatalf("members %v", got)
+	}
+	s = s.with(lay, 40)
+	if !s.broadcast() {
+		t.Fatal("4th sharer did not overflow a 3-pointer entry")
+	}
+	if !s.mayContain(lay, 199) {
+		t.Fatal("broadcast mode must claim every node")
+	}
+	if got := len(s.appendMembers(lay, nil)); got != 256 {
+		t.Fatalf("broadcast fan-out covers %d nodes, want 256", got)
+	}
+	s = sharerSet{}
+	if !s.isEmpty() || s.broadcast() {
+		t.Fatal("drain did not restore the empty exact set")
+	}
+}
+
+// TestSharerLayoutValidation pins the config-vs-format legality rules
+// the system layer reports before building machines.
+func TestSharerLayoutValidation(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{Nodes: 64, Sharers: FullBitmap}, true},
+		{Config{Nodes: 65, Sharers: FullBitmap}, false},
+		{Config{Nodes: 256, Sharers: LimitedPointer}, true},
+		{Config{Nodes: 256, Sharers: LimitedPointer, SharerPointers: maxSharerPointers + 1}, false},
+		{Config{Nodes: 256, Sharers: CoarseVector}, true},
+		{Config{Nodes: 256, Sharers: CoarseVector, SharerClusterSize: 2}, false}, // 128 clusters
+		{Config{Nodes: 0, Sharers: FullBitmap}, false},
+		{Config{Nodes: 16, Sharers: SharerFormat(9)}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", c.cfg, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%+v: accepted", c.cfg)
+		}
+	}
+	// The geometry-derived default is always legal.
+	for _, n := range []int{4, 16, 64, 100, 256} {
+		cfg := DefaultConfig(n, Spec)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("DefaultConfig(%d) illegal: %v", n, err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"specsimp/internal/directory"
 	"specsimp/internal/network"
 	"specsimp/internal/runner"
 	"specsimp/internal/sim"
@@ -112,10 +113,16 @@ func sysPoint(exp string, cfg system.Config, cycles sim.Time, params map[string]
 		Params:     params,
 		Repeat:     repeat,
 		Seed:       runner.PerturbSeed(cfg.Seed, repeat),
-		Run: func(seed uint64) runner.Metrics {
+		Run: func(seed uint64) (runner.Metrics, error) {
 			c := cfg
 			c.Seed = seed
-			return metricsFrom(system.RunOne(c, cycles))
+			r, err := system.RunOneChecked(c, cycles)
+			if err != nil {
+				// An unbuildable machine (e.g. snooping at 256 nodes)
+				// fails this design point only; the grid keeps running.
+				return runner.Metrics{}, err
+			}
+			return metricsFrom(r), nil
 		},
 	}
 }
@@ -148,6 +155,9 @@ func metricsFrom(r system.Results) runner.Metrics {
 		LogHighWaterBytes: float64(r.LogHighWaterBytes),
 		Writebacks:        float64(r.Writebacks),
 		WBRaces:           float64(r.WBRaces),
+		Invalidations:     float64(r.Invalidations),
+		InvBroadcasts:     float64(r.InvBroadcasts),
+		SharerOverflows:   float64(r.SharerOverflows),
 		Transactions:      float64(r.Transactions),
 		MissLatencyMean:   r.MissLatencyMean,
 		LimitStalls:       float64(r.LimitStalls),
@@ -509,16 +519,21 @@ func BufferTable(results []BufferResult) string {
 	return t.String()
 }
 
-// ---- scaling study: the 64-node machine ----
+// ---- scaling study: 16 → 256 nodes ----
 
-// ScaleResult is one (kind, geometry, workload) cell of the scaling
-// study: both speculatively simplified protocols run on the paper's 4×4
-// target machine and on an 8×8 (64-node) machine.
+// ScaleResult is one (kind, geometry, sharer format, workload) cell of
+// the scaling study: both speculatively simplified protocols on the
+// paper's 4×4 target machine and the 8×8 (64-node) machine, and — where
+// the protocol scales — the 16×16 (256-node) machine, where the
+// directory runs once per wide sharer-set format.
 type ScaleResult struct {
 	Kind     string
 	Workload string
 	Width    int
 	Height   int
+	// Sharers names the directory sharer-set format of this design
+	// point ("bitmap", "limited", "coarse"; "-" for snooping systems).
+	Sharers string
 	// Perf is absolute aggregate IPC; PerfVs4x4 normalizes it to the
 	// same kind and workload at the 4×4 geometry.
 	Perf       Cell
@@ -528,33 +543,78 @@ type ScaleResult struct {
 	// quantity the torus diameter stretches.
 	MissLatency  float64
 	MeanLinkUtil float64
+	// Invalidations counts directory Inv messages (mean per run); the
+	// limited-pointer format's overflow broadcasts surface here as
+	// extra invalidation traffic. InvBroadcasts counts the Dir_i_B
+	// broadcast fan-outs behind that extra traffic.
+	Invalidations float64
+	InvBroadcasts float64
+	// Err marks a design point the machine model does not support (e.g.
+	// snooping at 256 nodes); the sweep reports it and carries on.
+	Err string `json:",omitempty"`
 }
 
 // ScaleGeometries are the scaling design points: the paper's target
-// machine and the 64-node stress geometry.
-var ScaleGeometries = [][2]int{{4, 4}, {8, 8}}
+// machine, the 64-node full-bitmap ceiling, and the 256-node machine
+// the wide sharer-set formats open up.
+var ScaleGeometries = [][2]int{{4, 4}, {8, 8}, {16, 16}}
 
 // scaleKinds are the scaled systems: both speculatively simplified
 // variants (the paper's proposal is exactly that these stay correct and
 // fast as the machine grows).
 var scaleKinds = []system.Kind{system.DirectorySpec, system.SnoopSpec}
 
-// ScaleSweep runs the 64-node scaling study. The directory system keeps
-// its adaptive full-buffered network (deadlock-free, so the watchdog
-// stays off as in Fig5); the snooping system's bus delivery latency
-// scales with the torus diameter (ScaledBusConfig).
+// scaleVariant is one geometry × sharer-format design point of a kind's
+// scaling curve.
+type scaleVariant struct {
+	w, h    int
+	sharers directory.SharerFormat
+	label   string
+}
+
+// scaleVariants lists a kind's design points. Directory systems run the
+// exact bitmap where it fits and both wide formats at 16×16 (so the
+// precision-vs-traffic trade is directly visible in one table); the
+// snooping system runs every geometry and reports the 256-node point as
+// unsupported through the per-point error path.
+func scaleVariants(kind system.Kind) []scaleVariant {
+	if !kind.IsDirectory() {
+		var vs []scaleVariant
+		for _, g := range ScaleGeometries {
+			vs = append(vs, scaleVariant{w: g[0], h: g[1], label: "-"})
+		}
+		return vs
+	}
+	return []scaleVariant{
+		{4, 4, directory.FullBitmap, "bitmap"},
+		{8, 8, directory.FullBitmap, "bitmap"},
+		{16, 16, directory.LimitedPointer, "limited"},
+		{16, 16, directory.CoarseVector, "coarse"},
+	}
+}
+
+// ScaleSweep runs the scaling study. The directory system keeps its
+// adaptive full-buffered network (deadlock-free, so the watchdog stays
+// off as in Fig5); the snooping system's bus model scales with the
+// geometry (ScaledBusConfig) but the snooping protocol itself caps at
+// 64 nodes, so its 16×16 point fails validation and lands in the
+// results as a reported error rather than killing the sweep.
 func ScaleSweep(p Params) []ScaleResult {
 	var pts []runner.Point
 	for _, kind := range scaleKinds {
 		for _, wl := range p.Workloads {
-			for _, g := range ScaleGeometries {
-				cfg := system.DefaultConfigSized(kind, wl, g[0], g[1])
+			for _, v := range scaleVariants(kind) {
+				cfg := system.DefaultConfigSized(kind, wl, v.w, v.h)
 				cfg.CheckpointInterval = p.CheckpointInterval
 				cfg.CyclesPerSecond = p.CyclesPerSecond
 				cfg.TimeoutCycles = 0
+				if kind.IsDirectory() {
+					cfg.Sharers = v.sharers
+				}
 				pts = repeats(pts, "scale64", cfg, p, map[string]string{
-					"kind": kind.String(),
-					"geom": fmt.Sprintf("%dx%d", g[0], g[1]),
+					"kind":    kind.String(),
+					"geom":    fmt.Sprintf("%dx%d", v.w, v.h),
+					"sharers": v.label,
 				})
 			}
 		}
@@ -562,27 +622,37 @@ func ScaleSweep(p Params) []ScaleResult {
 	ex := p.exec()
 	res := ex.Run(pts)
 
-	out := make([]ScaleResult, 0, len(scaleKinds)*len(p.Workloads)*len(ScaleGeometries))
+	var out []ScaleResult
 	i := 0
 	for _, kind := range scaleKinds {
 		for _, wl := range p.Workloads {
 			var base float64
-			for gi, g := range ScaleGeometries {
+			for vi, v := range scaleVariants(kind) {
+				r := ScaleResult{
+					Kind:     kind.String(),
+					Workload: wl.Name,
+					Width:    v.w,
+					Height:   v.h,
+					Sharers:  v.label,
+				}
+				if err := res[i].Err; err != nil {
+					r.Err = err.Error()
+					out = append(out, r)
+					i += p.Runs
+					continue
+				}
 				perf := sampleOf(res, i, p.Runs, "perf")
-				if gi == 0 {
+				if vi == 0 {
 					base = perf.Mean()
 				}
-				out = append(out, ScaleResult{
-					Kind:         kind.String(),
-					Workload:     wl.Name,
-					Width:        g[0],
-					Height:       g[1],
-					Perf:         Cell{perf.Mean(), perf.StdDev()},
-					PerfVs4x4:    cell(perf, base),
-					Recoveries:   sampleOf(res, i, p.Runs, "recoveries").Mean(),
-					MissLatency:  sampleOf(res, i, p.Runs, "miss_latency_mean").Mean(),
-					MeanLinkUtil: sampleOf(res, i, p.Runs, "mean_link_util").Mean(),
-				})
+				r.Perf = Cell{perf.Mean(), perf.StdDev()}
+				r.PerfVs4x4 = cell(perf, base)
+				r.Recoveries = sampleOf(res, i, p.Runs, "recoveries").Mean()
+				r.MissLatency = sampleOf(res, i, p.Runs, "miss_latency_mean").Mean()
+				r.MeanLinkUtil = sampleOf(res, i, p.Runs, "mean_link_util").Mean()
+				r.Invalidations = sampleOf(res, i, p.Runs, "invalidations").Mean()
+				r.InvBroadcasts = sampleOf(res, i, p.Runs, "inv_broadcasts").Mean()
+				out = append(out, r)
 				i += p.Runs
 			}
 		}
@@ -591,18 +661,37 @@ func ScaleSweep(p Params) []ScaleResult {
 	return out
 }
 
-// ScaleTable renders the scaling study.
+// ScaleTable renders the scaling study. Unsupported design points show
+// as "unsupported*" rows with the (deduplicated) reasons footnoted
+// below the table.
 func ScaleTable(results []ScaleResult) string {
-	t := stats.NewTable("system", "workload", "geometry", "IPC", "vs 4x4", "recoveries", "miss latency", "link util")
+	t := stats.NewTable("system", "workload", "geometry", "sharers", "IPC", "vs 4x4", "recoveries", "miss latency", "invs", "bcasts", "link util")
+	var notes []string
+	seen := map[string]bool{}
 	for _, r := range results {
-		t.AddRow(r.Kind, r.Workload,
-			fmt.Sprintf("%dx%d (%d nodes)", r.Width, r.Height, r.Width*r.Height),
+		geom := fmt.Sprintf("%dx%d (%d nodes)", r.Width, r.Height, r.Width*r.Height)
+		if r.Err != "" {
+			t.AddRow(r.Kind, r.Workload, geom, r.Sharers,
+				"unsupported*", "-", "-", "-", "-", "-", "-")
+			if !seen[r.Err] {
+				seen[r.Err] = true
+				notes = append(notes, "* "+r.Err)
+			}
+			continue
+		}
+		t.AddRow(r.Kind, r.Workload, geom, r.Sharers,
 			r.Perf.String(), r.PerfVs4x4.String(),
 			fmt.Sprintf("%.2f", r.Recoveries),
 			fmt.Sprintf("%.1f", r.MissLatency),
+			fmt.Sprintf("%.0f", r.Invalidations),
+			fmt.Sprintf("%.0f", r.InvBroadcasts),
 			fmt.Sprintf("%.1f%%", 100*r.MeanLinkUtil))
 	}
-	return t.String()
+	out := t.String()
+	for _, n := range notes {
+		out += n + "\n"
+	}
+	return out
 }
 
 // ---- ablations ----

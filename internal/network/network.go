@@ -219,11 +219,23 @@ type endpoint struct {
 	consumePending bool
 }
 
-// New builds a network on kernel k. It panics on an invalid config
-// (configuration is a programming error, not a runtime condition).
+// New builds a network on kernel k. It panics on an invalid config;
+// callers assembling whole machines from user-supplied geometry use
+// NewChecked (or validate the config first) so a bad topology surfaces
+// as an error before any construction happens.
 func New(k *sim.Kernel, cfg Config) *Network {
-	if err := cfg.Validate(); err != nil {
+	n, err := NewChecked(k, cfg)
+	if err != nil {
 		panic(err)
+	}
+	return n
+}
+
+// NewChecked is New with configuration errors returned instead of
+// panicking mid-setup.
+func NewChecked(k *sim.Kernel, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	n := &Network{k: k, cfg: cfg, t: topo{cfg.Width, cfg.Height}}
 	nodes := cfg.NumNodes()
@@ -255,7 +267,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	n.st.Reordered = make([]stats.Counter, cfg.VNets)
 	n.st.PerVNet = make([]stats.Counter, cfg.VNets)
 	n.st.linkUtil = make([][numPorts]stats.Utilization, nodes)
-	return n
+	return n, nil
 }
 
 func make3d(a, b, c int) [][][]uint64 {

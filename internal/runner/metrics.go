@@ -22,6 +22,9 @@ type Metrics struct {
 	LogHighWaterBytes float64
 	Writebacks        float64
 	WBRaces           float64
+	Invalidations     float64
+	InvBroadcasts     float64
+	SharerOverflows   float64
 	Transactions      float64
 	MissLatencyMean   float64
 	LimitStalls       float64
@@ -40,6 +43,8 @@ var metricKeys = []string{
 	"cycles",
 	"deflections",
 	"instructions",
+	"inv_broadcasts",
+	"invalidations",
 	"limit_stalls",
 	"log_high_water_bytes",
 	"mean_link_util",
@@ -53,6 +58,7 @@ var metricKeys = []string{
 	"reorder_vnet1",
 	"reorder_vnet2",
 	"reorder_vnet3",
+	"sharer_overflows",
 	"timeouts",
 	"transactions",
 	"wb_races",
@@ -99,6 +105,12 @@ func (m *Metrics) Get(key string) float64 {
 		return m.Writebacks
 	case "wb_races":
 		return m.WBRaces
+	case "invalidations":
+		return m.Invalidations
+	case "inv_broadcasts":
+		return m.InvBroadcasts
+	case "sharer_overflows":
+		return m.SharerOverflows
 	case "transactions":
 		return m.Transactions
 	case "miss_latency_mean":

@@ -37,14 +37,20 @@ type Point struct {
 	Seed uint64
 	// Run executes the point and returns its metrics. It must be a pure
 	// function of seed so that re-running a grid reproduces artifacts
-	// byte for byte.
-	Run func(seed uint64) Metrics
+	// byte for byte. An error marks the design point as failed (e.g. an
+	// illegal machine configuration): the grid keeps running and the
+	// error is reported per point, in Result.Err and the CSV artifact's
+	// error column. Error messages must also be pure functions of the
+	// point for artifacts to stay reproducible.
+	Run func(seed uint64) (Metrics, error)
 }
 
-// Result pairs a point with the metrics its run produced.
+// Result pairs a point with the metrics its run produced. Err is set
+// when the point failed (Metrics is then zero).
 type Result struct {
 	Point
 	Metrics Metrics
+	Err     error
 }
 
 // PerturbSeed derives the deterministic seed for a repeat from a base
@@ -100,7 +106,8 @@ func (r *Runner) Run(points []Point) []Result {
 				if i >= len(points) {
 					return
 				}
-				results[i] = Result{Point: points[i], Metrics: points[i].Run(points[i].Seed)}
+				m, err := points[i].Run(points[i].Seed)
+				results[i] = Result{Point: points[i], Metrics: m, Err: err}
 			}
 		}()
 	}

@@ -25,14 +25,14 @@ func grid(exp string, n, repeats int, gauge func()) []Point {
 				Params:     map[string]string{"axis": fmt.Sprintf("%d", d), "beta": "x"},
 				Repeat:     rep,
 				Seed:       PerturbSeed(uint64(d+1), rep),
-				Run: func(seed uint64) Metrics {
+				Run: func(seed uint64) (Metrics, error) {
 					if gauge != nil {
 						gauge()
 					}
 					return Metrics{
 						Perf:         float64(seed%97) / 97,
 						Transactions: float64(d),
-					}
+					}, nil
 				},
 			})
 		}
@@ -150,18 +150,65 @@ func TestCSVLayout(t *testing.T) {
 		t.Fatalf("got %d lines, want header + %d rows:\n%s", len(lines), len(pts), data)
 	}
 	// Fixed columns, then sorted params, then the full metric schema in
-	// sorted order (identical for every experiment by construction).
-	want := "experiment,workload,repeat,seed,axis,beta," + strings.Join(MetricKeys(), ",")
+	// sorted order (identical for every experiment by construction),
+	// then the per-point error column.
+	want := "experiment,workload,repeat,seed,axis,beta," + strings.Join(MetricKeys(), ",") + ",error"
 	if lines[0] != want {
 		t.Fatalf("header %q, want %q", lines[0], want)
 	}
-	cells := 6 + len(MetricKeys())
+	cells := 7 + len(MetricKeys())
 	for i, line := range lines[1:] {
 		if !strings.HasPrefix(line, "layout,") {
 			t.Fatalf("row %d: %q", i, line)
 		}
 		if got := len(strings.Split(line, ",")); got != cells {
 			t.Fatalf("row %d has %d cells: %q", i, got, line)
+		}
+	}
+}
+
+// TestFailedPointReporting covers the per-point error path: a point
+// whose Run returns an error does not abort the grid; its result
+// carries the error and its CSV row records it (comma/newline-safe) in
+// the error column with zero metrics.
+func TestFailedPointReporting(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := grid("mixed", 2, 1, nil)
+	pts[1].Run = func(seed uint64) (Metrics, error) {
+		return Metrics{}, fmt.Errorf("unsupported machine,\n256 nodes")
+	}
+	r := &Runner{Workers: 2, Sink: sink}
+	res := r.Run(pts)
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatalf("healthy point reported error: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Fatal("failing point lost its error")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "mixed.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), data)
+	}
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Fatalf("healthy row should end with empty error cell: %q", lines[1])
+	}
+	if want := ",unsupported machine; 256 nodes"; !strings.HasSuffix(lines[2], want) {
+		t.Fatalf("failed row %q missing sanitized error suffix %q", lines[2], want)
+	}
+	for i, cell := range strings.Split(lines[2], ",") {
+		if i >= 6 && i < 6+len(MetricKeys()) && cell != "0" {
+			t.Fatalf("failed row metric cell %d = %q, want 0", i, cell)
 		}
 	}
 }

@@ -62,9 +62,10 @@ func (s *Sink) fail(err error) {
 // per-experiment CSV file (<experiment>.csv), creating the file with a
 // header on first use. Rows are written in slice order; the header —
 // experiment, workload, repeat, seed, sorted param keys, sorted metric
-// keys — is fixed by the experiment's first row. Values are formatted
-// with the shortest round-trip representation, so identical grids
-// reproduce identical bytes.
+// keys, error — is fixed by the experiment's first row. Values are
+// formatted with the shortest round-trip representation, so identical
+// grids reproduce identical bytes. Failed points (Result.Err) land as
+// rows with zero metrics and the error message in the final column.
 func (s *Sink) AppendRows(results []Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -82,6 +83,7 @@ func (s *Sink) AppendRows(results []Result) {
 		if !seen {
 			cols = append([]string{"experiment", "workload", "repeat", "seed"},
 				append(sortedKeys(r.Params), metricKeys...)...)
+			cols = append(cols, "error")
 			s.columns[r.Experiment] = cols
 		}
 		f := files[r.Experiment]
@@ -118,6 +120,8 @@ func (s *Sink) AppendRows(results []Result) {
 				row = append(row, strconv.Itoa(r.Repeat))
 			case "seed":
 				row = append(row, strconv.FormatUint(r.Seed, 10))
+			case "error":
+				row = append(row, csvSafe(errText(r.Err)))
 			default:
 				if v, ok := r.Params[c]; ok {
 					row = append(row, v)
@@ -154,6 +158,19 @@ type Manifest struct {
 	Experiments []string  `json:"experiments"`
 	Workers     int       `json:"workers"`
 	Quick       bool      `json:"quick"`
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// csvSafe strips the characters that would break the line-per-row,
+// comma-separated artifact format out of free-form error text.
+func csvSafe(s string) string {
+	return strings.NewReplacer(",", ";", "\n", " ", "\r", " ").Replace(s)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

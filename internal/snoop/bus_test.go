@@ -1,0 +1,42 @@
+package snoop
+
+import "testing"
+
+// TestScaledBusConfig pins the address-network scaling model: the flat
+// diameter-scaled bus up to 64 nodes (bit-identical to the historical
+// formula, and to DefaultBusConfig at the paper's 4×4), the segmented
+// hierarchical variant beyond, with latency monotone in machine size.
+func TestScaledBusConfig(t *testing.T) {
+	if got, want := ScaledBusConfig(4, 4), DefaultBusConfig(16); got != want {
+		t.Fatalf("4x4 diverged from DefaultBusConfig: %+v vs %+v", got, want)
+	}
+	cases := []struct {
+		w, h    int
+		deliver int64
+	}{
+		{4, 4, 25},   // flat: 5 + 5*(2+2)
+		{8, 8, 45},   // flat: 5 + 5*(4+4) — the 64-node ceiling, unchanged
+		{16, 16, 95}, // segmented: 5 + 5*8 (to hub) + 5*2 (hub ring) + 5*8 (fan-out)
+		{32, 32, 5 + 40 + 20 + 40},
+	}
+	for _, c := range cases {
+		cfg := ScaledBusConfig(c.w, c.h)
+		if cfg.Nodes != c.w*c.h {
+			t.Errorf("%dx%d: nodes %d", c.w, c.h, cfg.Nodes)
+		}
+		if int64(cfg.DeliverLatency) != c.deliver {
+			t.Errorf("%dx%d: deliver latency %d, want %d", c.w, c.h, cfg.DeliverLatency, c.deliver)
+		}
+		if cfg.ArbInterval != 5 {
+			t.Errorf("%dx%d: arb interval %d", c.w, c.h, cfg.ArbInterval)
+		}
+	}
+	prev := ScaledBusConfig(2, 2).DeliverLatency
+	for _, side := range []int{4, 8, 12, 16, 24, 32} {
+		d := ScaledBusConfig(side, side).DeliverLatency
+		if d < prev {
+			t.Fatalf("delivery latency not monotone at %dx%d: %d < %d", side, side, d, prev)
+		}
+		prev = d
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"specsimp/internal/directory"
 	"specsimp/internal/sim"
 	"specsimp/internal/workload"
 )
@@ -16,19 +17,23 @@ var stressSeeds = []uint64{0x5eed0001, 0xbadc0ffe}
 
 // stressCases add geometry and fault-injection variety on top of the
 // kind × workload grid: the plain 4×4 machine, a recovery-hammered 4×4
-// machine (rollback is when invariants are easiest to break), and the
-// 64-node scaling geometry.
+// machine (rollback is when invariants are easiest to break), the
+// 64-node scaling geometry, and the 256-node machine under both wide
+// directory sharer-set formats (snooping kinds skip it: unsupported).
 type stressCase struct {
 	name          string
 	width, height int
 	injectEvery   sim.Time // recovery injection period in cycles (0 = off)
 	cycles        sim.Time
+	sharers       directory.SharerFormat // 0 = DefaultConfigSized's pick
 }
 
 var stressCases = []stressCase{
 	{name: "4x4", width: 4, height: 4, cycles: 120_000},
 	{name: "4x4-inject", width: 4, height: 4, injectEvery: 7_000, cycles: 120_000},
 	{name: "8x8", width: 8, height: 8, cycles: 60_000},
+	{name: "16x16-limited", width: 16, height: 16, cycles: 50_000, sharers: directory.LimitedPointer},
+	{name: "16x16-coarse", width: 16, height: 16, cycles: 50_000, sharers: directory.CoarseVector},
 }
 
 // TestCrossKindInvariantStress runs randomized-workload simulations over
@@ -63,9 +68,18 @@ func runStressCase(t *testing.T, sc stressCase, kind Kind, wl workload.Profile, 
 	cfg.SnoopCheckpointRequests = 200
 	cfg.TimeoutCycles = 0 // deadlock-free fabrics; the audit is the detector here
 	cfg.InjectRecoveryEvery = sc.injectEvery
+	if sc.sharers != 0 && kind.IsDirectory() {
+		cfg.Sharers = sc.sharers
+	}
 	replay := fmt.Sprintf("replay: kind=%s workload=%s geom=%s seed=%#x",
 		kind, wl.Name, sc.name, seed)
-	s := Build(cfg)
+	s, err := BuildChecked(cfg)
+	if err != nil {
+		if !kind.IsDirectory() && cfg.Nodes > MaxSnoopNodes {
+			t.Skipf("unsupported geometry for %s: %v", kind, err)
+		}
+		t.Fatalf("build failed (%s): %v", replay, err)
+	}
 	audits := 0
 	s.OnCheckpoint = func() {
 		audits++

@@ -67,6 +67,16 @@ type Config struct {
 	Net network.Config
 	Bus snoop.BusConfig // snooping address network
 
+	// Sharers selects the directory entry's sharer-set representation
+	// for directory kinds. The zero value is the exact full bitmap,
+	// which caps the machine at 64 nodes; DefaultConfigSized picks a
+	// legal format from the geometry (limited-pointer beyond 64 nodes).
+	// SharerPointers and SharerClusterSize size the limited-pointer and
+	// coarse-vector formats (0 = their defaults).
+	Sharers           directory.SharerFormat
+	SharerPointers    int
+	SharerClusterSize int
+
 	Workload workload.Profile
 	Seed     uint64
 
@@ -121,14 +131,17 @@ func DefaultConfig(kind Kind, wl workload.Profile) Config {
 
 // DefaultConfigSized returns the Table 2 system scaled to a w×h torus —
 // the paper's machine at 4×4, the scaling study's 64-node machine at
-// 8×8. Everything geometry-dependent derives from w and h: the torus
-// networks, the snooping bus delivery latency (which grows with the
-// torus diameter), and the node count. The directory protocol's sharer
-// bitmaps cap the machine at 64 nodes.
+// 8×8, the directory protocol up to 16×16 (256 nodes). Everything
+// geometry-dependent derives from w and h: the torus networks, the
+// snooping bus model (diameter-scaled, segmented beyond 64 nodes), the
+// node count, and the directory sharer-set format (exact bitmap up to
+// 64 nodes, limited-pointer with broadcast overflow beyond). Snooping
+// systems stay capped at 64 nodes — ValidateConfig reports why.
 func DefaultConfigSized(kind Kind, wl workload.Profile, w, h int) Config {
 	cfg := Config{
 		Kind:                    kind,
 		Nodes:                   w * h,
+		Sharers:                 directory.DefaultSharerFormat(w * h),
 		Workload:                wl,
 		Seed:                    1,
 		CheckpointInterval:      100_000,
@@ -189,13 +202,71 @@ func (s *System) AuditInvariants() error {
 	return s.Snoop.AuditInvariants()
 }
 
-// Build constructs the system. It panics on invalid configuration.
-func Build(cfg Config) *System {
+// MaxSnoopNodes caps snooping systems: every ordered request is
+// broadcast to every node, so past this size the model measures address-
+// network serialization rather than protocol behavior. The directory
+// kinds scale further (sharer-set formats permitting).
+const MaxSnoopNodes = 64
+
+// ValidateConfig reports whether cfg describes a buildable machine:
+// network geometry, node-count agreement, the directory sharer-set
+// format's node ceiling, and the snooping size cap. It runs before any
+// construction, so an oversize machine is an error the caller can
+// report (e.g. per sweep design point), not a panic mid-build.
+func ValidateConfig(cfg Config) error {
+	if err := cfg.Net.Validate(); err != nil {
+		return err
+	}
 	if cfg.Nodes != cfg.Net.NumNodes() {
-		panic(fmt.Sprintf("system: %d nodes vs %d network endpoints", cfg.Nodes, cfg.Net.NumNodes()))
+		return fmt.Errorf("system: %d nodes vs %d network endpoints", cfg.Nodes, cfg.Net.NumNodes())
+	}
+	if cfg.Kind.IsDirectory() {
+		return directoryConfigFor(cfg).Validate()
+	}
+	if cfg.Nodes > MaxSnoopNodes {
+		return fmt.Errorf("system: snooping systems cap at %d nodes (every ordered request reaches every node); %d nodes needs a directory kind", MaxSnoopNodes, cfg.Nodes)
+	}
+	return nil
+}
+
+// directoryConfigFor derives the directory protocol configuration for a
+// directory-kind system config (shared by ValidateConfig and Build).
+func directoryConfigFor(cfg Config) directory.Config {
+	v := directory.Full
+	if cfg.Kind == DirectorySpec {
+		v = directory.Spec
+	}
+	dcfg := directory.DefaultConfig(cfg.Nodes, v)
+	dcfg.Sharers = cfg.Sharers
+	dcfg.SharerPointers = cfg.SharerPointers
+	dcfg.SharerClusterSize = cfg.SharerClusterSize
+	dcfg.TimeoutCycles = cfg.TimeoutCycles
+	overrideCaches(&dcfg.L1Bytes, &dcfg.L1Ways, &dcfg.L2Bytes, &dcfg.L2Ways, cfg)
+	return dcfg
+}
+
+// Build constructs the system. It panics on invalid configuration;
+// BuildChecked returns the error instead.
+func Build(cfg Config) *System {
+	s, err := BuildChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BuildChecked constructs the system, reporting configuration problems
+// (oversize machines, bad geometry) as errors before any kernel or
+// network is built.
+func BuildChecked(cfg Config) (*System, error) {
+	if err := ValidateConfig(cfg); err != nil {
+		return nil, err
 	}
 	k := sim.NewKernel()
-	net := network.New(k, cfg.Net)
+	net, err := network.NewChecked(k, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.ReorderInjectProb > 0 {
 		rng := sim.NewRNG(cfg.Seed ^ 0xfa17)
 		delay := cfg.ReorderInjectDelay
@@ -218,14 +289,11 @@ func Build(cfg Config) *System {
 	var access processor.AccessFunc
 	switch {
 	case cfg.Kind.IsDirectory():
-		v := directory.Full
-		if cfg.Kind == DirectorySpec {
-			v = directory.Spec
+		dir, err := directory.NewChecked(k, net, directoryConfigFor(cfg), mgr)
+		if err != nil {
+			return nil, err
 		}
-		dcfg := directory.DefaultConfig(cfg.Nodes, v)
-		dcfg.TimeoutCycles = cfg.TimeoutCycles
-		overrideCaches(&dcfg.L1Bytes, &dcfg.L1Ways, &dcfg.L2Bytes, &dcfg.L2Ways, cfg)
-		s.Dir = directory.New(k, net, dcfg, mgr)
+		s.Dir = dir
 		s.Dir.OnMisSpeculation = func(reason string) { coord.TriggerMisSpeculation(reason) }
 		access = s.Dir.Access
 	default:
@@ -272,7 +340,7 @@ func Build(cfg Config) *System {
 	}
 	coord.AddPolicy(&core.SlowStart{K: k, Limiter: s.Pool, Limit: ssLimit, Normal: 0, Window: cfg.SlowStartWindow})
 	coord.PolicyExempt = func(reason string) bool { return reason == "injected" }
-	return s
+	return s, nil
 }
 
 // Start takes the initial checkpoint, starts the processors, the
@@ -394,6 +462,9 @@ type Results struct {
 	Transactions       uint64
 	Writebacks         uint64
 	WBRaces            uint64
+	Invalidations      uint64
+	InvBroadcasts      uint64
+	SharerOverflows    uint64
 	OrderViolations    uint64
 	CornerDetected     uint64
 	CornerHandled      uint64
@@ -442,6 +513,9 @@ func (s *System) Results() Results {
 		r.Transactions = ds.Transactions.Value()
 		r.Writebacks = ds.Writebacks.Value()
 		r.WBRaces = ds.WBRaces.Value()
+		r.Invalidations = ds.Invalidations.Value()
+		r.InvBroadcasts = ds.InvBroadcasts.Value()
+		r.SharerOverflows = ds.SharerOverflows.Value()
 		r.OrderViolations = ds.OrderViolations.Value()
 		r.Timeouts = ds.TimeoutsDetected.Value()
 	}
@@ -462,6 +536,18 @@ func RunOne(cfg Config, cycles sim.Time) Results {
 	s := Build(cfg)
 	s.Start()
 	return s.Run(cycles)
+}
+
+// RunOneChecked is RunOne with configuration errors returned instead of
+// panicking — the sweep engine reports them per design point so one
+// illegal machine does not kill a whole grid.
+func RunOneChecked(cfg Config, cycles sim.Time) (Results, error) {
+	s, err := BuildChecked(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	s.Start()
+	return s.Run(cycles), nil
 }
 
 // PerturbedResult aggregates several perturbed runs of one design point
@@ -535,6 +621,9 @@ func Table2(cfg Config) string {
 	t.AddRow("Miss From Memory", "~180 ns uncontended 2-hop (120-cycle DRAM + network)")
 	t.AddRow("Interconnect", fmt.Sprintf("%dx%d torus, %s routing, %.2f B/cycle links",
 		cfg.Net.Width, cfg.Net.Height, cfg.Net.Routing, cfg.Net.LinkBandwidth))
+	if cfg.Kind.IsDirectory() {
+		t.AddRow("Directory Sharer Set", directoryConfigFor(cfg).DescribeSharers())
+	}
 	t.AddRow("Checkpoint Log Buffer", "512 KB/node, 72-byte entries")
 	t.AddRow("Checkpoint Interval", fmt.Sprintf("%d cycles (directory), %d requests (snooping)",
 		cfg.CheckpointInterval, cfg.SnoopCheckpointRequests))

@@ -1,0 +1,69 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"specsimp/internal/directory"
+	"specsimp/internal/workload"
+)
+
+// TestValidateOversizeMachines pins the bugfix: an oversize machine is
+// a config error reported before any kernel, network or protocol is
+// built — not a panic from deep inside directory.New.
+func TestValidateOversizeMachines(t *testing.T) {
+	// A 16×16 directory machine on the default (auto-picked) format is
+	// legal and builds.
+	cfg := DefaultConfigSized(DirectorySpec, workload.Uniform, 16, 16)
+	if err := ValidateConfig(cfg); err != nil {
+		t.Fatalf("default 16x16 directory config rejected: %v", err)
+	}
+	if _, err := BuildChecked(cfg); err != nil {
+		t.Fatalf("default 16x16 directory build failed: %v", err)
+	}
+
+	// Forcing the exact bitmap past its 64-node ceiling is the
+	// historical panic; it must now surface as a descriptive error.
+	bad := cfg
+	bad.Sharers = directory.FullBitmap
+	err := ValidateConfig(bad)
+	if err == nil || !strings.Contains(err.Error(), "64 nodes") {
+		t.Fatalf("bitmap at 256 nodes: got %v, want 64-node-cap error", err)
+	}
+	if _, berr := BuildChecked(bad); berr == nil {
+		t.Fatal("BuildChecked accepted a 256-node bitmap machine")
+	}
+
+	// Snooping systems cap at 64 nodes regardless of bus model.
+	snoop := DefaultConfigSized(SnoopSpec, workload.Uniform, 16, 16)
+	err = ValidateConfig(snoop)
+	if err == nil || !strings.Contains(err.Error(), "directory kind") {
+		t.Fatalf("snooping at 256 nodes: got %v, want snoop-cap error", err)
+	}
+
+	// Network geometry problems propagate as errors too (historically a
+	// panic mid-setup in network.New).
+	short := cfg
+	short.Net.Width, short.Net.Height = 1, 1
+	short.Nodes = 1
+	if err := ValidateConfig(short); err == nil {
+		t.Fatal("1x1 torus accepted")
+	}
+	if _, err := BuildChecked(short); err == nil {
+		t.Fatal("BuildChecked accepted a 1x1 torus")
+	}
+}
+
+// TestBuildPanicsStayForLegacyCallers keeps the documented contract of
+// the unchecked constructors: Build panics (with the same descriptive
+// error) for callers that treat configuration as a programming error.
+func TestBuildPanicsStayForLegacyCallers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build did not panic on an invalid config")
+		}
+	}()
+	cfg := DefaultConfigSized(DirectorySpec, workload.Uniform, 16, 16)
+	cfg.Sharers = directory.FullBitmap
+	Build(cfg)
+}

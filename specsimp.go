@@ -67,11 +67,27 @@ const (
 // DefaultConfig returns the paper's Table 2 target system.
 func DefaultConfig(kind Kind, wl Workload) Config { return system.DefaultConfig(kind, wl) }
 
-// Build constructs a system from a config.
+// Build constructs a system from a config. It panics on an invalid
+// configuration; BuildChecked returns the error instead.
 func Build(cfg Config) *System { return system.Build(cfg) }
+
+// BuildChecked constructs a system, reporting invalid configurations
+// (oversize machines, bad geometry) as errors before anything is built.
+func BuildChecked(cfg Config) (*System, error) { return system.BuildChecked(cfg) }
+
+// ValidateConfig checks a configuration without building it: network
+// geometry, the directory sharer-set format's node ceiling, and the
+// snooping size cap.
+func ValidateConfig(cfg Config) error { return system.ValidateConfig(cfg) }
 
 // RunOne builds, starts, and runs a system for the given cycles.
 func RunOne(cfg Config, cycles Time) Results { return system.RunOne(cfg, cycles) }
+
+// RunOneChecked is RunOne with configuration errors returned instead of
+// panicking — the sweep engine reports them per design point.
+func RunOneChecked(cfg Config, cycles Time) (Results, error) {
+	return system.RunOneChecked(cfg, cycles)
+}
 
 // PerturbedResult aggregates perturbed runs (paper §5.2 methodology).
 type PerturbedResult = system.PerturbedResult
@@ -196,8 +212,11 @@ var (
 	ScaleTable      = experiments.ScaleTable
 )
 
-// DefaultConfigSized returns the Table 2 system scaled to a w×h torus
-// (up to 8×8 = 64 nodes, the directory sharer-bitmap ceiling).
+// DefaultConfigSized returns the Table 2 system scaled to a w×h torus.
+// Directory systems scale to 16×16 (256 nodes) — the sharer-set format
+// is picked from the geometry (exact bitmap up to 64 nodes,
+// limited-pointer with broadcast overflow beyond); snooping systems cap
+// at 64 nodes (ValidateConfig reports why).
 func DefaultConfigSized(kind Kind, wl Workload, w, h int) Config {
 	return system.DefaultConfigSized(kind, wl, w, h)
 }
