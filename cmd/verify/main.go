@@ -1,22 +1,28 @@
-// Command verify exhaustively explores message-delivery interleavings
-// of both coherence protocols for small scenarios and checks every
-// outcome — the verification-effort experiment behind the paper's whole
-// premise (§1: "engineers must allocate a disproportionate share of
-// their effort to ensure that rare corner-case events behave
-// correctly").
+// Command verify model-checks both coherence protocols: it explores
+// message-delivery (and, for snooping, bus-arbitration) interleavings
+// of small scenarios on the shared exploration engine
+// (internal/explore) and checks every outcome — the verification-
+// effort experiment behind the paper's whole premise (§1: "engineers
+// must allocate a disproportionate share of their effort to ensure
+// that rare corner-case events behave correctly").
 //
 // For the speculative protocols it certifies framework feature (2)
 // within the explored bounds: every interleaving either completes with
 // intact invariants or stops at the single designated detection — the
 // reordered-forward for the directory protocol (§3.1), the WB_AI corner
-// case for the snooping protocol (§3.2).
+// case for the snooping protocol (§3.2). Dynamic partial-order
+// reduction and canonical state hashing push those proofs to 3-block,
+// 4-node scenarios (including the Dir_i_B imprecise-sharer paths) that
+// full enumeration cannot finish.
 //
 // Usage:
 //
-//	verify                     # run all scenarios on both protocols and variants
+//	verify                     # all scenarios, both protocols and variants
 //	verify -protocol snoop     # just the snooping protocol
 //	verify -scenario race      # just the §3.1 writeback race
-//	verify -maxpaths 500000
+//	verify -reduce dpor        # pruning mode: sleep (default), dpor, none
+//	verify -workers 8          # parallel frontier (results identical at any count)
+//	verify -stats              # explored vs pruned interleaving accounting
 package main
 
 import (
@@ -28,13 +34,9 @@ import (
 
 	"specsimp/internal/coherence"
 	"specsimp/internal/directory"
+	"specsimp/internal/explore"
 	"specsimp/internal/snoop"
 )
-
-type scenario struct {
-	name   string
-	script [][]directory.ScriptOp
-}
 
 var (
 	blkA = coherence.Addr(0)
@@ -42,11 +44,22 @@ var (
 	blkC = coherence.Addr(8 * 64)
 )
 
-func scenarios() []scenario {
-	return []scenario{
+type dirScenario struct {
+	name   string
+	nodes  int
+	script [][]directory.ScriptOp
+	// sharers/pointers override the directory-entry format (overflow
+	// scenarios).
+	sharers  directory.SharerFormat
+	pointers int
+}
+
+func dirScenarios() []dirScenario {
+	return []dirScenario{
 		{
 			// The §3.1 writeback/forward race.
-			name: "race",
+			name:  "race",
+			nodes: 4,
 			script: [][]directory.ScriptOp{
 				1: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}, {Addr: blkC, Kind: coherence.Store}},
 				2: {{Addr: blkA, Kind: coherence.Store}},
@@ -54,8 +67,22 @@ func scenarios() []scenario {
 			},
 		},
 		{
+			// The scaled proof: 3 blocks, 4 active nodes, overlapping
+			// writeback races — detection fires with other transactions
+			// mid-flight.
+			name:  "race-3x4",
+			nodes: 4,
+			script: [][]directory.ScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}, {Addr: blkC, Kind: coherence.Store}},
+				1: {{Addr: blkB, Kind: coherence.Store}, {Addr: blkC, Kind: coherence.Store}},
+				2: {{Addr: blkA, Kind: coherence.Store}},
+				3: {{Addr: blkB, Kind: coherence.Load}},
+			},
+		},
+		{
 			// Readers invalidated by competing writers.
-			name: "share-invalidate",
+			name:  "share-invalidate",
+			nodes: 4,
 			script: [][]directory.ScriptOp{
 				0: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
 				1: {{Addr: blkA, Kind: coherence.Load}},
@@ -65,7 +92,8 @@ func scenarios() []scenario {
 		},
 		{
 			// Competing upgrades from S.
-			name: "upgrade-race",
+			name:  "upgrade-race",
+			nodes: 4,
 			script: [][]directory.ScriptOp{
 				0: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
 				1: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
@@ -75,55 +103,103 @@ func scenarios() []scenario {
 		},
 		{
 			// Writeback racing a read.
-			name: "race-gets",
+			name:  "race-gets",
+			nodes: 4,
 			script: [][]directory.ScriptOp{
 				1: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}, {Addr: blkC, Kind: coherence.Store}},
 				2: {{Addr: blkA, Kind: coherence.Load}},
 				3: {},
 			},
 		},
+		{
+			// Dir_1_B overflow: the second sharer degrades the entry to
+			// broadcast, so invalidations are imprecise (PR-3 paths).
+			name:  "sharer-overflow",
+			nodes: 4,
+			script: [][]directory.ScriptOp{
+				0: {{Addr: blkA, Kind: coherence.Load}},
+				1: {{Addr: blkA, Kind: coherence.Load}},
+				2: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
+				3: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}},
+			},
+			sharers:  directory.LimitedPointer,
+			pointers: 1,
+		},
 	}
 }
 
-// snoopScenarios are the snooping-protocol counterparts, explored over
-// the joint space of address-network arbitration and data delivery.
-func snoopScenarios() []struct {
+type snoopScenario struct {
 	name   string
+	nodes  int
 	script [][]snoop.SScriptOp
-} {
-	return []struct {
-		name   string
-		script [][]snoop.SScriptOp
-	}{
+}
+
+// Blocks that collide in the explorer's single-frame snoop L2.
+var (
+	sBlkA = coherence.Addr(0x000)
+	sBlkB = coherence.Addr(0x400)
+	sBlkC = coherence.Addr(0x800)
+)
+
+func snoopScenarios() []snoopScenario {
+	return []snoopScenario{
 		{
 			// The §3.2 corner: a writeback in flight while two foreign
 			// stores compete for the block.
-			name: "corner",
+			name:  "corner",
+			nodes: 3,
 			script: [][]snoop.SScriptOp{
-				0: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}},
-				1: {{Addr: blkA, Kind: coherence.Store}},
-				2: {{Addr: blkA, Kind: coherence.Store}},
+				0: {{Addr: sBlkA, Kind: coherence.Store}, {Addr: sBlkB, Kind: coherence.Store}},
+				1: {{Addr: sBlkA, Kind: coherence.Store}},
+				2: {{Addr: sBlkA, Kind: coherence.Store}},
+			},
+		},
+		{
+			// The scaled proof: the same corner with a fourth node and a
+			// third block mid-flight at detection time.
+			name:  "corner-3x4",
+			nodes: 4,
+			script: [][]snoop.SScriptOp{
+				0: {{Addr: sBlkA, Kind: coherence.Store}, {Addr: sBlkB, Kind: coherence.Store}},
+				1: {{Addr: sBlkA, Kind: coherence.Store}},
+				2: {{Addr: sBlkA, Kind: coherence.Store}},
+				3: {{Addr: sBlkC, Kind: coherence.Store}, {Addr: sBlkC, Kind: coherence.Load}},
 			},
 		},
 		{
 			// Read-share/invalidate without writebacks.
-			name: "share-invalidate",
+			name:  "share-invalidate",
+			nodes: 4,
 			script: [][]snoop.SScriptOp{
-				0: {{Addr: blkA, Kind: coherence.Load}, {Addr: blkA, Kind: coherence.Store}},
-				1: {{Addr: blkA, Kind: coherence.Load}},
-				2: {{Addr: blkA, Kind: coherence.Store}},
+				0: {{Addr: sBlkA, Kind: coherence.Load}, {Addr: sBlkA, Kind: coherence.Store}},
+				1: {{Addr: sBlkA, Kind: coherence.Load}},
+				2: {{Addr: sBlkA, Kind: coherence.Store}},
+				3: {{Addr: sBlkC, Kind: coherence.Load}},
 			},
 		},
 		{
 			// Writeback racing a read.
-			name: "corner-gets",
+			name:  "corner-gets",
+			nodes: 3,
 			script: [][]snoop.SScriptOp{
-				0: {{Addr: blkA, Kind: coherence.Store}, {Addr: blkB, Kind: coherence.Store}},
-				1: {{Addr: blkA, Kind: coherence.Load}},
-				2: {{Addr: blkA, Kind: coherence.Store}},
+				0: {{Addr: sBlkA, Kind: coherence.Store}, {Addr: sBlkB, Kind: coherence.Store}},
+				1: {{Addr: sBlkA, Kind: coherence.Load}},
+				2: {{Addr: sBlkA, Kind: coherence.Store}},
 			},
 		},
 	}
+}
+
+func parseReduce(s string) (explore.Reduction, bool) {
+	switch s {
+	case "sleep":
+		return explore.ReduceSleep, true
+	case "dpor":
+		return explore.ReduceDPOR, true
+	case "none":
+		return explore.ReduceNone, true
+	}
+	return 0, false
 }
 
 func main() {
@@ -132,28 +208,49 @@ func main() {
 	var (
 		protocol = flag.String("protocol", "all", "protocol: directory, snoop, all")
 		which    = flag.String("scenario", "all", "scenario name, or all")
-		maxPaths = flag.Int("maxpaths", 200_000, "interleaving budget per (scenario, variant)")
+		maxPaths = flag.Int("maxpaths", 200_000, "interleaving budget per exploration subtree task (total may reach budget x tasks)")
+		depth    = flag.Int("depth", 0, "max delivery steps per path (0 = engine default)")
+		workers  = flag.Int("workers", 1, "parallel frontier width (results identical at any count)")
+		reduceS  = flag.String("reduce", "sleep", "pruning: sleep (sleep sets + state hashing), dpor, none")
+		stats    = flag.Bool("stats", false, "report explored vs pruned interleaving counts")
 	)
 	flag.Parse()
+	reduce, ok := parseReduce(*reduceS)
+	if !ok {
+		log.Fatalf("unknown -reduce %q (want sleep, dpor or none)", *reduceS)
+	}
 
 	failed := false
 	if *protocol == "all" || *protocol == "directory" {
-		for _, sc := range scenarios() {
+		for _, sc := range dirScenarios() {
 			if *which != "all" && *which != sc.name {
 				continue
 			}
 			for _, v := range []directory.Variant{directory.Full, directory.Spec} {
 				start := time.Now()
 				res := directory.Explore(directory.ExploreConfig{
-					Variant:  v,
-					Nodes:    4,
-					Script:   sc.script,
-					MaxPaths: *maxPaths,
+					Variant:        v,
+					Nodes:          sc.nodes,
+					Script:         sc.script,
+					MaxPaths:       *maxPaths,
+					MaxDepth:       *depth,
+					Sharers:        sc.sharers,
+					SharerPointers: sc.pointers,
+					Reduce:         reduce,
+					NoDedup:        reduce == explore.ReduceNone,
+					Workers:        *workers,
 				})
 				report("directory", sc.name, fmt.Sprint(v), res.Paths, res.Completed,
 					res.Detected, res.Truncated, res.Violations, start, &failed)
-				if v == directory.Spec && res.Detected == 0 && (sc.name == "race" || sc.name == "race-gets") {
+				if *stats {
+					statline(res.SleepCut, res.VisitedCut, res.Transitions, res.Replayed, res.Tasks)
+				}
+				if v == directory.Spec && res.Detected == 0 &&
+					(sc.name == "race" || sc.name == "race-gets" || sc.name == "race-3x4") {
 					fmt.Println("    warning: race scenario never triggered detection")
+				}
+				if v == directory.Full && res.RacesExercised > 0 && *stats {
+					fmt.Printf("    writeback race exercised on %d completed paths\n", res.RacesExercised)
 				}
 			}
 		}
@@ -167,13 +264,20 @@ func main() {
 				start := time.Now()
 				res := snoop.ExploreSnoop(snoop.SExploreConfig{
 					Variant:  v,
-					Nodes:    3,
+					Nodes:    sc.nodes,
 					Script:   sc.script,
 					MaxPaths: *maxPaths,
+					MaxDepth: *depth,
+					Reduce:   reduce,
+					NoDedup:  reduce == explore.ReduceNone,
+					Workers:  *workers,
 				})
 				report("snoop", sc.name, fmt.Sprint(v), res.Paths, res.Completed,
 					res.Detected, res.Truncated, res.Violations, start, &failed)
-				if v == snoop.Spec && res.Detected == 0 && sc.name == "corner" {
+				if *stats {
+					statline(res.SleepCut, res.VisitedCut, res.Transitions, res.Replayed, res.Tasks)
+				}
+				if v == snoop.Spec && res.Detected == 0 && (sc.name == "corner" || sc.name == "corner-3x4") {
 					fmt.Println("    warning: corner scenario never triggered detection")
 				}
 				if v == snoop.Full && res.CornerHandled > 0 {
@@ -210,4 +314,9 @@ func report(proto, name, variant string, paths, completed, detected int, truncat
 		}
 		fmt.Printf("    %s\n", viol)
 	}
+}
+
+func statline(sleepCut, visitedCut int, transitions, replayed uint64, tasks int) {
+	fmt.Printf("    pruned: %d sleep-cut + %d visited-cut subtrees; %d transitions (+%d replayed) over %d tasks\n",
+		sleepCut, visitedCut, transitions, replayed, tasks)
 }

@@ -122,6 +122,35 @@ func (c *Cache) Invalidate(a coherence.Addr) {
 	}
 }
 
+// ForEachSetLRU visits every valid line set by set, ordering the lines
+// within a set by recency (least recently used first) — the canonical
+// order for state fingerprinting: two caches behave identically under
+// future lookups and victim choices iff their per-set LRU rankings and
+// contents match, regardless of absolute useClock values. The callback
+// must not insert or remove lines.
+func (c *Cache) ForEachSetLRU(fn func(set int, l *Line)) {
+	order := make([]int, c.ways)
+	for s := range c.sets {
+		set := c.sets[s]
+		n := 0
+		for w := range set {
+			if set[w].Valid {
+				order[n] = w
+				n++
+			}
+		}
+		// Insertion sort by lastUse (ways are small).
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && set[order[j]].lastUse < set[order[j-1]].lastUse; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			fn(s, &set[order[i]])
+		}
+	}
+}
+
 // ForEach visits every valid line. The callback must not insert or
 // remove lines.
 func (c *Cache) ForEach(fn func(*Line)) {

@@ -1,28 +1,28 @@
 package directory
 
 import (
-	"fmt"
-
 	"specsimp/internal/coherence"
-	"specsimp/internal/network"
-	"specsimp/internal/sim"
+	"specsimp/internal/explore"
 )
 
-// This file implements an explicit-state exploration harness for the
-// directory protocol: it exhaustively enumerates message delivery
-// orders for a small configuration and verifies every outcome.
+// This file is the directory protocol's front-end to the shared
+// model-checking engine (internal/explore; the model adapter lives in
+// model.go). It exhaustively verifies message-delivery interleavings
+// of small scenarios.
 //
 // The paper's §3 motivates speculation precisely by the cost of
 // verifying protocols ("the state space explosion problem ... limits
 // the viability of various formal verification methods", and the
-// snooping corner case was found only "when randomized testing happened
-// to uncover it"). This harness is the next rung up from the randomized
-// stress suite: within the explored bounds it *proves* the paper's
-// framework feature (2) — detection of **all** mis-speculations — by
-// checking that the Spec variant, under every possible interleaving,
-// either completes with intact invariants or detects the violation at
-// its single designated invalid transition; and that the Full variant
-// never mis-speculates at all.
+// snooping corner case was found only "when randomized testing
+// happened to uncover it"). Within the explored bounds this harness
+// *proves* the paper's framework feature (2) — detection of **all**
+// mis-speculations — by checking that the Spec variant, under every
+// possible interleaving, either completes with intact invariants or
+// detects the violation at its single designated invalid transition;
+// and that the Full variant never mis-speculates at all. Partial-order
+// reduction and state hashing (see internal/explore) push the provable
+// scenarios from the pre-PR-4 bound of 2 blocks × 2–3 active nodes to
+// 3+ blocks × 4+ nodes.
 
 // ScriptOp is one processor operation in an exploration scenario.
 type ScriptOp struct {
@@ -37,187 +37,96 @@ type ExploreConfig struct {
 	// Script holds each node's access sequence; a node issues its next
 	// operation when the previous one completes.
 	Script [][]ScriptOp
-	// MaxPaths caps the number of interleavings explored (0 = 1<<20).
+	// MaxPaths caps the number of interleavings explored (0 = 1<<20),
+	// applied per subtree task at every worker count (the frontier is
+	// decomposed the same way regardless of Workers).
 	MaxPaths int
-	// MaxDepth caps delivery steps per path (guards runaway paths).
+	// MaxDepth caps delivery steps per path (0 = engine default).
 	MaxDepth int
+
+	// Sharers overrides the directory-entry format (zero keeps the
+	// exact full bitmap): exploring LimitedPointer with a small
+	// SharerPointers budget drives the Dir_i_B overflow/imprecise-Inv
+	// paths that have no other exhaustive check.
+	Sharers           SharerFormat
+	SharerPointers    int
+	SharerClusterSize int
+
+	// Reduce selects the pruning mode (zero = sleep sets + state
+	// dedup; see explore.Reduction). NoDedup disables visited-state
+	// pruning.
+	Reduce  explore.Reduction
+	NoDedup bool
+	// Workers bounds the parallel frontier (0/1 = serial; results are
+	// identical for every value). ForkDepth tunes the frontier split
+	// (0 = engine default, negative = no fork).
+	Workers   int
+	ForkDepth int
+	// CollectTerminals records terminal-state digests (cross-mode
+	// equivalence tests).
+	CollectTerminals bool
 }
 
 // ExploreResult summarizes an exploration.
 type ExploreResult struct {
-	Paths     int // interleavings executed
+	Paths     int // interleavings executed to a terminal state
 	Completed int // paths where every scripted access finished
 	Detected  int // paths ending in a designated mis-speculation (Spec)
-	Truncated bool
+	// RacesExercised counts completed paths on which the §3.1
+	// writeback race actually fired (WBRaces grew) — evidence the
+	// exploration reaches the contested window.
+	RacesExercised int
+	// SleepCut / VisitedCut count subtrees pruned by the sleep-set and
+	// visited-state reductions; each stands for at least one — usually
+	// many — interleavings full enumeration would have executed.
+	SleepCut   int
+	VisitedCut int
+	// Transitions counts executed deliveries; Replayed counts
+	// deliveries re-executed to reposition after backtracking.
+	Transitions uint64
+	Replayed    uint64
+	Tasks       int
+	Truncated   bool
 	// Violations collects descriptions of any incorrect outcome
-	// (invariant breakage, stuck path, wrong completion count).
+	// (invariant breakage, stuck path, unspecified-transition panic),
+	// each with its reproducing delivery trace.
 	Violations []string
+	// Terminals holds the terminal-state digest multiset when
+	// CollectTerminals is set.
+	Terminals map[explore.Digest]int
 }
 
 // Ok reports whether no violations were found.
 func (r ExploreResult) Ok() bool { return len(r.Violations) == 0 }
 
-// exploreFabric delivers messages under external control: the explorer
-// picks which queued message arrives next.
-type exploreFabric struct {
-	nodes   int
-	clients []network.Client
-	queue   []*network.Message
-}
-
-func (f *exploreFabric) Send(m *network.Message)                         { f.queue = append(f.queue, m) }
-func (f *exploreFabric) Kick(network.NodeID)                             {}
-func (f *exploreFabric) AttachClient(n network.NodeID, c network.Client) { f.clients[n] = c }
-func (f *exploreFabric) NumNodes() int                                   { return f.nodes }
-
-// Explore enumerates delivery interleavings depth-first. Paths are
-// identified by their choice prefixes; each run replays a prefix and
-// then takes the first available choice until quiescent, recording
-// branch widths so unexplored siblings are queued.
+// Explore verifies every delivery interleaving of cfg's scenario
+// (within bounds) on the shared engine.
 func Explore(cfg ExploreConfig) ExploreResult {
-	if cfg.MaxPaths == 0 {
-		cfg.MaxPaths = 1 << 20
+	er := explore.Run(explore.Config{
+		NewModel:         func() explore.Model { return newDirModel(cfg) },
+		Reduction:        cfg.Reduce,
+		StateDedup:       !cfg.NoDedup,
+		MaxPaths:         cfg.MaxPaths,
+		MaxDepth:         cfg.MaxDepth,
+		Workers:          cfg.Workers,
+		ForkDepth:        cfg.ForkDepth,
+		CollectTerminals: cfg.CollectTerminals,
+	})
+	res := ExploreResult{
+		Paths:          er.Paths,
+		Completed:      er.Completed,
+		Detected:       er.Detected,
+		RacesExercised: er.Flagged,
+		SleepCut:       er.SleepCut,
+		VisitedCut:     er.VisitedCut,
+		Transitions:    er.Transitions,
+		Replayed:       er.Replayed,
+		Tasks:          er.Tasks,
+		Truncated:      er.Truncated,
+		Terminals:      er.Terminals,
 	}
-	if cfg.MaxDepth == 0 {
-		cfg.MaxDepth = 200
-	}
-	res := ExploreResult{}
-	// Work list of path prefixes to run; start with the empty prefix.
-	work := [][]int{{}}
-	for len(work) > 0 {
-		if res.Paths >= cfg.MaxPaths {
-			res.Truncated = true
-			break
-		}
-		prefix := work[len(work)-1]
-		work = work[:len(work)-1]
-		widths, outcome := runPath(cfg, prefix, &res)
-		res.Paths++
-		_ = outcome
-		// Queue unexplored siblings at decision points beyond the
-		// prefix (choices within the prefix were enqueued when their
-		// own parents ran). Steps past the prefix took choice 0.
-		for i := len(prefix); i < len(widths); i++ {
-			for c := 1; c < widths[i]; c++ {
-				branch := make([]int, i+1)
-				copy(branch, prefix)
-				branch[i] = c
-				work = append(work, branch)
-			}
-		}
+	for _, v := range er.Violations {
+		res.Violations = append(res.Violations, v.String())
 	}
 	return res
-}
-
-// runPath executes one interleaving. It returns the branch width at
-// every decision step (for sibling enumeration) and records violations.
-// A panic (an unspecified protocol transition) is itself the most
-// interesting violation an exploration can find; it is captured and
-// recorded with the offending path.
-func runPath(cfg ExploreConfig, prefix []int, res *ExploreResult) (widthsOut []int, outcome string) {
-	defer func() {
-		if r := recover(); r != nil {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: panic: %v", prefix, r))
-			outcome = "panic"
-		}
-	}()
-	return runPathInner(cfg, prefix, res)
-}
-
-func runPathInner(cfg ExploreConfig, prefix []int, res *ExploreResult) ([]int, string) {
-	k := sim.NewKernel()
-	f := &exploreFabric{nodes: cfg.Nodes, clients: make([]network.Client, cfg.Nodes)}
-	pcfg := DefaultConfig(cfg.Nodes, cfg.Variant)
-	// Exploration always uses a 1-set 2-way L2: scenarios that need
-	// evictions get them, tiny caches keep per-path construction cheap,
-	// and scenarios touching <=2 blocks per node see no difference.
-	pcfg.L2Bytes, pcfg.L2Ways = 2*64, 2
-	pcfg.L1Bytes, pcfg.L1Ways = 64, 1
-	p := New(k, f, pcfg, nil)
-	detected := false
-	p.OnMisSpeculation = func(reason string) {
-		detected = true
-		// Exploration treats detection as a terminal, correct outcome:
-		// recovery would restore a checkpoint, which is verified by the
-		// system-level tests. Clear state so the run ends cleanly.
-		p.ResetTransients()
-		f.queue = nil
-	}
-
-	completed := 0
-	want := 0
-	for n, ops := range cfg.Script {
-		want += len(ops)
-		n := n
-		ops := ops
-		var issue func(i int)
-		issue = func(i int) {
-			if i >= len(ops) || detected {
-				return
-			}
-			p.Access(coherence.NodeID(n), ops[i].Addr, ops[i].Kind, func() {
-				completed++
-				issue(i + 1)
-			})
-		}
-		issue(0)
-	}
-
-	var widths []int
-	step := 0
-	for {
-		k.Drain(1_000_000)
-		if detected || len(f.queue) == 0 {
-			break
-		}
-		if step >= cfg.MaxDepth {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: exceeded depth %d", prefix, cfg.MaxDepth))
-			return widths, "depth"
-		}
-		choice := 0
-		if step < len(prefix) {
-			choice = prefix[step]
-		}
-		widths = append(widths, len(f.queue))
-		if choice >= len(f.queue) {
-			// A shorter queue than when the sibling was enqueued: the
-			// branch does not exist on this replay (can happen only if
-			// execution were nondeterministic — flag it).
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: branch %d missing at step %d (queue %d)", prefix, choice, step, len(f.queue)))
-			return widths, "nondet"
-		}
-		m := f.queue[choice]
-		f.queue = append(f.queue[:choice:choice], f.queue[choice+1:]...)
-		if !f.clients[m.Dst].Deliver(m) {
-			// Back-pressured (Data waiting on the writeback TBE): put
-			// it at the back; progress comes from another message.
-			f.queue = append(f.queue, m)
-			// This still counts as a decision step: siblings explore
-			// the other messages.
-		}
-		step++
-	}
-
-	switch {
-	case detected:
-		res.Detected++
-		if cfg.Variant == Full {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: full variant mis-speculated", prefix))
-		}
-	case completed == want && p.InFlight() == 0:
-		res.Completed++
-		if err := p.AuditInvariants(); err != nil {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: %v", prefix, err))
-		}
-	default:
-		res.Violations = append(res.Violations,
-			fmt.Sprintf("path %v: stuck with %d/%d completed, %d in flight, %d queued",
-				prefix, completed, want, p.InFlight(), len(f.queue)))
-	}
-	return widths, "done"
 }

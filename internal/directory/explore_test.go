@@ -1,9 +1,11 @@
 package directory
 
 import (
+	"reflect"
 	"testing"
 
 	"specsimp/internal/coherence"
+	"specsimp/internal/explore"
 )
 
 // raceScript provokes the §3.1 writeback race: node 1 acquires A, then
@@ -16,18 +18,35 @@ func raceScript() [][]ScriptOp {
 	}
 }
 
+// wideScript is the scaled proof scenario: three blocks, four active
+// nodes, two writeback races in flight at once (nodes 0 and 1 both
+// evict contested blocks while nodes 2 and 3 compete for them). This
+// is the "recovery mid-flight" shape: when the Spec variant detects on
+// one block, other transactions are still in flight and
+// ResetTransients must clear them all (checked by the model).
+func wideScript() [][]ScriptOp {
+	return [][]ScriptOp{
+		0: {{blkA, coherence.Store}, {blkB, coherence.Store}, {blkC, coherence.Store}},
+		1: {{blkB, coherence.Store}, {blkC, coherence.Store}},
+		2: {{blkA, coherence.Store}},
+		3: {{blkB, coherence.Load}},
+	}
+}
+
 // TestExploreFullNoMisSpeculation: across every explored interleaving
 // the full protocol completes with intact invariants and never
 // mis-speculates.
 func TestExploreFullNoMisSpeculation(t *testing.T) {
 	res := Explore(ExploreConfig{
-		Variant:  Full,
-		Nodes:    4,
-		Script:   raceScript(),
-		MaxPaths: 100_000,
+		Variant: Full,
+		Nodes:   4,
+		Script:  raceScript(),
 	})
 	if !res.Ok() {
 		t.Fatalf("violations (%d), first: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; the proof is not exhaustive")
 	}
 	if res.Detected != 0 {
 		t.Fatalf("full variant mis-speculated on %d paths", res.Detected)
@@ -35,7 +54,11 @@ func TestExploreFullNoMisSpeculation(t *testing.T) {
 	if res.Completed != res.Paths {
 		t.Fatalf("completed %d of %d paths", res.Completed, res.Paths)
 	}
-	t.Logf("full: %d interleavings verified (truncated=%v)", res.Paths, res.Truncated)
+	if res.RacesExercised == 0 {
+		t.Fatal("no path exercised the writeback race; the scenario proves nothing")
+	}
+	t.Logf("full: %d paths (+%d sleep-cut, +%d visited-cut), race on %d",
+		res.Paths, res.SleepCut, res.VisitedCut, res.RacesExercised)
 }
 
 // TestExploreSpecDetectsAllViolations is the framework's feature (2)
@@ -45,13 +68,15 @@ func TestExploreFullNoMisSpeculation(t *testing.T) {
 // panic, or stuck protocol).
 func TestExploreSpecDetectsAllViolations(t *testing.T) {
 	res := Explore(ExploreConfig{
-		Variant:  Spec,
-		Nodes:    4,
-		Script:   raceScript(),
-		MaxPaths: 30_000,
+		Variant: Spec,
+		Nodes:   4,
+		Script:  raceScript(),
 	})
 	if !res.Ok() {
 		t.Fatalf("violations (%d), first: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; the proof is not exhaustive")
 	}
 	if res.Detected == 0 {
 		t.Fatal("no interleaving triggered the race; exploration proves nothing")
@@ -60,8 +85,104 @@ func TestExploreSpecDetectsAllViolations(t *testing.T) {
 		t.Fatalf("paths=%d completed=%d detected=%d: unexplained outcomes",
 			res.Paths, res.Completed, res.Detected)
 	}
-	t.Logf("spec: %d interleavings — %d completed, %d detected (truncated=%v)",
-		res.Paths, res.Completed, res.Detected, res.Truncated)
+	t.Logf("spec: %d paths — %d completed, %d detected", res.Paths, res.Completed, res.Detected)
+}
+
+// TestExploreThreeBlocksFourNodes is the scaled proof the engine
+// exists for: both variants verified exhaustively on a 3-block,
+// 4-active-node scenario with overlapping writeback races — beyond
+// what full enumeration could finish.
+func TestExploreThreeBlocksFourNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 3x4 proof runs in the full test step; -short (race) covers the smaller scenarios")
+	}
+	for _, v := range []Variant{Full, Spec} {
+		res := Explore(ExploreConfig{
+			Variant: v,
+			Nodes:   4,
+			Script:  wideScript(),
+		})
+		if !res.Ok() {
+			t.Fatalf("%s: violations (%d), first: %s", v, len(res.Violations), res.Violations[0])
+		}
+		if res.Truncated {
+			t.Fatalf("%s: truncated; the proof is not exhaustive", v)
+		}
+		switch v {
+		case Full:
+			if res.Detected != 0 {
+				t.Fatalf("full variant mis-speculated on %d paths", res.Detected)
+			}
+			if res.RacesExercised == 0 {
+				t.Fatal("scenario never reached the writeback race")
+			}
+		case Spec:
+			if res.Detected == 0 {
+				t.Fatal("spec variant never detected; scenario proves nothing")
+			}
+			if res.Completed+res.Detected != res.Paths {
+				t.Fatalf("unexplained outcomes: %+v", res)
+			}
+		}
+		t.Logf("%s 3x4: %d paths, %d detected, cuts %d+%d, %d transitions",
+			v, res.Paths, res.Detected, res.SleepCut, res.VisitedCut, res.Transitions)
+	}
+}
+
+// TestExploreImpreciseSharerOverflow drives the PR-3 Dir_i_B overflow
+// machinery through exhaustive exploration: a 1-pointer entry
+// overflows to broadcast on the second sharer, so the storer's
+// invalidation fan-out is imprecise (targets that never shared, and —
+// through eviction races — invalidations landing on writeback TBEs).
+// Every interleaving must still complete with intact invariants.
+func TestExploreImpreciseSharerOverflow(t *testing.T) {
+	script := [][]ScriptOp{
+		0: {{blkA, coherence.Load}},
+		1: {{blkA, coherence.Load}},
+		2: {{blkA, coherence.Load}, {blkA, coherence.Store}},
+		3: {{blkA, coherence.Store}, {blkB, coherence.Store}},
+	}
+	for _, v := range []Variant{Full, Spec} {
+		cfg := ExploreConfig{
+			Variant:        v,
+			Nodes:          4,
+			Script:         script,
+			Sharers:        LimitedPointer,
+			SharerPointers: 1,
+		}
+		res := Explore(cfg)
+		if !res.Ok() {
+			t.Fatalf("%s: %s", v, res.Violations[0])
+		}
+		if res.Truncated {
+			t.Fatalf("%s: truncated", v)
+		}
+		t.Logf("%s overflow: %d paths, %d detected", v, res.Paths, res.Detected)
+
+		// The scenario must actually overflow: replay one canonical
+		// path on a bare model and observe the counter.
+		m := newDirModel(cfg)
+		m.Reset()
+		for {
+			tr := m.Enabled(nil)
+			if len(tr) == 0 {
+				break
+			}
+			delivered := false
+			for _, c := range tr {
+				if m.Take(c.ID) != explore.Blocked {
+					delivered = true
+					break
+				}
+			}
+			if !delivered {
+				t.Fatal("probe run wedged")
+			}
+		}
+		if m.p.Stats().SharerOverflows.Value() == 0 {
+			t.Fatalf("%s: scenario never overflowed the 1-pointer entry", v)
+		}
+	}
 }
 
 // TestExploreSharingScenario explores a read-share/invalidate scenario
@@ -74,19 +195,14 @@ func TestExploreSharingScenario(t *testing.T) {
 		2: {{blkA, coherence.Store}},
 	}
 	for _, v := range []Variant{Full, Spec} {
-		res := Explore(ExploreConfig{
-			Variant:  v,
-			Nodes:    4,
-			Script:   script,
-			MaxPaths: 20_000,
-		})
+		res := Explore(ExploreConfig{Variant: v, Nodes: 4, Script: script})
 		if !res.Ok() {
 			t.Fatalf("%s: %s", v, res.Violations[0])
 		}
 		if res.Detected != 0 {
 			t.Fatalf("%s: detections in a race-free scenario", v)
 		}
-		t.Logf("%s sharing: %d interleavings verified", v, res.Paths)
+		t.Logf("%s sharing: %d paths verified", v, res.Paths)
 	}
 }
 
@@ -97,31 +213,147 @@ func TestExploreUpgradeScenario(t *testing.T) {
 		1: {{blkA, coherence.Load}, {blkA, coherence.Store}},
 		2: {},
 	}
-	res := Explore(ExploreConfig{
-		Variant:  Full,
-		Nodes:    4,
-		Script:   script,
-		MaxPaths: 20_000,
-	})
+	res := Explore(ExploreConfig{Variant: Full, Nodes: 4, Script: script})
 	if !res.Ok() {
 		t.Fatalf("%s", res.Violations[0])
 	}
-	t.Logf("upgrades: %d interleavings verified", res.Paths)
+	t.Logf("upgrades: %d paths verified", res.Paths)
 }
 
-// TestExploreDeterministicReplay: the same prefix always reproduces the
-// same branch widths (the explorer depends on replay determinism).
-func TestExploreDeterministicReplay(t *testing.T) {
-	cfg := ExploreConfig{Variant: Full, Nodes: 4, Script: raceScript(), MaxPaths: 1}
-	var res ExploreResult
-	w1, _ := runPath(cfg, nil, &res)
-	w2, _ := runPath(cfg, nil, &res)
-	if len(w1) != len(w2) {
-		t.Fatalf("widths diverged: %v vs %v", w1, w2)
+// TestExploreModeEquivalence: full enumeration, sleep sets + dedup,
+// and DPOR must reach exactly the same terminal states on a scenario
+// small enough to enumerate — the protocol-level soundness check of
+// the reductions (the independence relation could be wrong in ways
+// toy models never exercise).
+func TestExploreModeEquivalence(t *testing.T) {
+	// The eviction chain (A, B, C through a 2-frame L2) puts a
+	// writeback of A in flight against node 1's store, so detection
+	// paths — where a delivery clears every in-flight queue at once,
+	// the hardest case for the commutation assumption — are part of
+	// the compared terminal sets (Spec detects on 64 paths here under
+	// full enumeration).
+	script := [][]ScriptOp{
+		0: {{blkA, coherence.Store}, {blkB, coherence.Store}, {blkC, coherence.Store}},
+		1: {{blkA, coherence.Store}},
 	}
-	for i := range w1 {
-		if w1[i] != w2[i] {
-			t.Fatalf("width[%d]: %d vs %d", i, w1[i], w2[i])
+	sawDetection := false
+	terminals := map[string][]explore.Digest{}
+	for _, m := range []struct {
+		name    string
+		reduce  explore.Reduction
+		noDedup bool
+	}{
+		{"none", explore.ReduceNone, true},
+		{"sleep", explore.ReduceSleep, false},
+		{"dpor", explore.ReduceDPOR, true},
+	} {
+		res := Explore(ExploreConfig{
+			Variant:          Spec,
+			Nodes:            3,
+			Script:           script,
+			Reduce:           m.reduce,
+			NoDedup:          m.noDedup,
+			CollectTerminals: true,
+		})
+		if !res.Ok() {
+			t.Fatalf("%s: %s", m.name, res.Violations[0])
+		}
+		if res.Truncated {
+			t.Fatalf("%s: truncated", m.name)
+		}
+		if res.Detected > 0 {
+			sawDetection = true
+		}
+		var keys []explore.Digest
+		for d := range res.Terminals {
+			keys = append(keys, d)
+		}
+		sortDigests(keys)
+		terminals[m.name] = keys
+		t.Logf("%s: %d paths (%d detected), %d distinct terminal states",
+			m.name, res.Paths, res.Detected, len(keys))
+	}
+	if !sawDetection {
+		t.Fatal("scenario never detected: equivalence does not cover detection paths")
+	}
+	if !reflect.DeepEqual(terminals["none"], terminals["sleep"]) {
+		t.Fatalf("sleep reduction lost terminal states: %d vs %d",
+			len(terminals["sleep"]), len(terminals["none"]))
+	}
+	if !reflect.DeepEqual(terminals["none"], terminals["dpor"]) {
+		t.Fatalf("dpor reduction lost terminal states: %d vs %d",
+			len(terminals["dpor"]), len(terminals["none"]))
+	}
+}
+
+// TestExploreReductionRatio pins the acceptance bar: on the pre-PR-4
+// race script, the reductions explore at least 10x fewer
+// interleavings than full enumeration.
+func TestExploreReductionRatio(t *testing.T) {
+	budget := 60_000
+	full := Explore(ExploreConfig{
+		Variant: Spec, Nodes: 4, Script: raceScript(),
+		Reduce: explore.ReduceNone, NoDedup: true, MaxPaths: budget,
+	})
+	fullPaths := full.Paths // a lower bound when truncated
+	for _, m := range []struct {
+		name    string
+		reduce  explore.Reduction
+		noDedup bool
+	}{
+		{"sleep+dedup", explore.ReduceSleep, false},
+		{"dpor", explore.ReduceDPOR, true},
+	} {
+		res := Explore(ExploreConfig{
+			Variant: Spec, Nodes: 4, Script: raceScript(),
+			Reduce: m.reduce, NoDedup: m.noDedup, ForkDepth: -1,
+		})
+		if !res.Ok() {
+			t.Fatalf("%s: %s", m.name, res.Violations[0])
+		}
+		if res.Truncated {
+			t.Fatalf("%s: truncated", m.name)
+		}
+		if res.Paths*10 > fullPaths {
+			t.Fatalf("%s explored %d paths vs >=%d full enumeration: less than 10x",
+				m.name, res.Paths, fullPaths)
+		}
+		t.Logf("%s: %d paths vs >=%d full (%.0fx, truncated-full=%v)",
+			m.name, res.Paths, fullPaths, float64(fullPaths)/float64(res.Paths), full.Truncated)
+	}
+}
+
+// TestExploreWorkerDeterminism: the parallel frontier must return
+// bit-identical results — counts, violations, terminal digests — for
+// every worker count (run with -race in CI).
+func TestExploreWorkerDeterminism(t *testing.T) {
+	base := Explore(ExploreConfig{
+		Variant: Spec, Nodes: 4, Script: raceScript(),
+		Workers: 1, CollectTerminals: true,
+	})
+	for _, w := range []int{2, 8} {
+		got := Explore(ExploreConfig{
+			Variant: Spec, Nodes: 4, Script: raceScript(),
+			Workers: w, CollectTerminals: true,
+		})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged from workers=1:\n%+v\nvs\n%+v", w, base, got)
 		}
 	}
+	if base.Tasks < 2 {
+		t.Fatalf("expected a forked frontier, got %d tasks", base.Tasks)
+	}
+	t.Logf("%d paths over %d tasks, identical at 1/2/8 workers", base.Paths, base.Tasks)
+}
+
+func sortDigests(ds []explore.Digest) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func less(a, b explore.Digest) bool {
+	return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1])
 }

@@ -1,0 +1,92 @@
+package directory
+
+import (
+	"testing"
+)
+
+// fuzzSharerLayouts are the representations the fuzzer drives; the
+// low bits of the first input byte pick one. They mirror
+// sharerConfigs but bound node counts so op bytes map onto nodes
+// densely.
+var fuzzSharerLayouts = []Config{
+	{Nodes: 16, Sharers: FullBitmap},
+	{Nodes: 64, Sharers: FullBitmap},
+	{Nodes: 16, Sharers: LimitedPointer, SharerPointers: 2},
+	{Nodes: 64, Sharers: LimitedPointer}, // default Dir_4_B
+	{Nodes: 256, Sharers: LimitedPointer, SharerPointers: 8},
+	{Nodes: 64, Sharers: CoarseVector, SharerClusterSize: 4},
+	{Nodes: 256, Sharers: CoarseVector},                       // default cluster size
+	{Nodes: 250, Sharers: CoarseVector, SharerClusterSize: 7}, // ragged final cluster
+}
+
+// FuzzSharerSet drives byte-derived op sequences (add, remove, drain,
+// checkpoint-snapshot, recovery-restore) through every sharer-set
+// representation against the exact-set oracle: conservative superset
+// always, exact where the format can represent the set, members
+// ascending and in range — the same contract the property test pins,
+// now under fuzzer-chosen schedules. The snapshot/restore ops mirror
+// the protocol's undo-log discipline (entries copied by value), so
+// value-copy semantics are fuzzed too.
+func FuzzSharerSet(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{2, 0x10, 0x31, 0x52, 0x73, 0x01, 0x94, 0x03}) // overflow a 2-pointer entry, restore
+	f.Add([]byte{6, 0xa0, 0xb1, 0xc2, 0x00, 0xd3, 0xe4})       // coarse clusters with a drain
+	f.Add([]byte{7, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77}) // ragged final cluster
+	f.Add([]byte{3, 0x18, 0x29, 0x3a, 0x4b, 0x5c, 0x01, 0x03}) // Dir_4_B overflow then restore
+	f.Add([]byte{4, 0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99}) // 8-pointer entry at 256 nodes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		cfg := fuzzSharerLayouts[int(data[0])%len(fuzzSharerLayouts)]
+		lay, err := cfg.sharerLayout()
+		if err != nil {
+			t.Fatalf("fuzz layout invalid: %v", err)
+		}
+		var s sharerSet
+		oracle := map[int]bool{}
+		type snap struct {
+			s      sharerSet
+			oracle map[int]bool
+		}
+		var undo []snap
+		for i, b := range data[1:] {
+			switch b & 0x0f {
+			case 0: // drain (recovery reset / PutM to DInv)
+				s = sharerSet{}
+				oracle = map[int]bool{}
+			case 1: // checkpoint: snapshot by value
+				if len(undo) < 64 {
+					o := make(map[int]bool, len(oracle))
+					for n := range oracle {
+						o[n] = true
+					}
+					undo = append(undo, snap{s: s, oracle: o})
+				}
+			case 3: // recovery: restore the newest snapshot
+				if len(undo) > 0 {
+					sn := undo[len(undo)-1]
+					undo = undo[:len(undo)-1]
+					s = sn.s
+					oracle = make(map[int]bool, len(sn.oracle))
+					for n := range sn.oracle {
+						oracle[n] = true
+					}
+				}
+			default:
+				// Spread byte entropy across the node range; the op
+				// index decorrelates adds from the byte value so long
+				// repeated inputs still explore.
+				n := (int(b>>4)*31 + i*7) % lay.nodes
+				if b&1 == 0 {
+					s = s.with(lay, n)
+					oracle[n] = true
+				} else {
+					s = s.without(lay, n)
+					delete(oracle, n)
+				}
+			}
+			checkAgainstOracle(t, lay, s, oracle)
+		}
+	})
+}

@@ -1,0 +1,603 @@
+package explore
+
+import (
+	"fmt"
+	"slices"
+)
+
+// idSet is a small set of transition IDs, allocated lazily.
+type idSet map[uint64]struct{}
+
+func (s *idSet) add(id uint64) {
+	if *s == nil {
+		*s = make(idSet, 4)
+	}
+	(*s)[id] = struct{}{}
+}
+
+func (s idSet) has(id uint64) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// frame is one state on the DFS stack.
+type frame struct {
+	// viaID/viaMeta is the transition that produced this state from
+	// its parent (unset on the root frame).
+	viaID   uint64
+	viaMeta Transition
+
+	enabled []Transition
+	index   map[uint64]int // ID -> position in enabled
+
+	sleep     idSet // asleep on entry + completed sibling subtrees
+	done      idSet // explored from this state
+	blocked   idSet // back-pressured at this state
+	backtrack idSet // DPOR: transitions that must be explored (nil = all)
+
+	// introduced lists IDs first enabled at this state, for map
+	// cleanup when the frame pops.
+	introduced []uint64
+	// frozen marks replayed task-prefix frames: visible to DPOR race
+	// scans and replay, but never explored from.
+	frozen bool
+}
+
+// task is one independent subtree of the exploration: a choice prefix
+// plus the sleep set its root inherited from already-dispatched
+// sibling subtrees.
+type task struct {
+	choices   []uint64
+	rootSleep []uint64
+}
+
+// engine explores one subtree sequentially. Backtracking restores
+// model state by replaying the choice prefix from Reset (the models
+// cannot snapshot), so the stack stores choices, not states.
+type engine struct {
+	cfg   Config
+	m     Model
+	res   Result
+	stack []*frame
+
+	// born maps a transition ID to the depth of the frame where it
+	// first became enabled; its sender is the transition entering that
+	// frame. Valid for IDs on or above the current stack only.
+	born map[uint64]int
+	meta map[uint64]Transition
+
+	enc     Enc
+	visited map[uint64][]visitedEntry
+	nstates int
+
+	ebuf     []Transition
+	keybuf   []uint64
+	ancbuf   []int
+	dirty    bool // model state is past the top frame; replay before Take
+	maxDepth int  // live depth budget for this task
+	aborted  bool
+}
+
+type visitedEntry struct {
+	d2 uint64
+	// sleeps holds the canonical (content-key, sorted) sleep sets this
+	// state was explored under; a revisit whose sleep set is a
+	// superset of any stored one is fully covered.
+	sleeps [][]uint64
+}
+
+func newEngine(cfg Config, m Model) *engine {
+	return &engine{cfg: cfg, m: m}
+}
+
+// runTask explores one subtree and returns its task-local result.
+func (e *engine) runTask(t task) Result {
+	e.res = Result{}
+	e.stack = e.stack[:0]
+	e.born = make(map[uint64]int)
+	e.meta = make(map[uint64]Transition)
+	e.visited = make(map[uint64][]visitedEntry)
+	e.nstates = 0
+	e.dirty = false
+	e.aborted = false
+	e.maxDepth = e.cfg.MaxDepth + len(t.choices)
+
+	e.m.Reset()
+	e.pushFrame(0, Transition{}, nil)
+	for _, c := range t.choices {
+		cur := e.top()
+		cur.frozen = true
+		st := e.safeTake(c)
+		if st != Progressed {
+			e.abort(fmt.Sprintf("replay of task prefix diverged at %d (step result %d)", c, st))
+			return e.res
+		}
+		e.res.Replayed++
+		e.pushFrame(c, e.meta[c], nil)
+	}
+	root := e.top()
+	for _, id := range t.rootSleep {
+		if _, ok := root.index[id]; ok {
+			root.sleep.add(id)
+		}
+	}
+	if e.cfg.Reduction == ReduceDPOR {
+		e.seedBacktrack(root)
+	}
+	if len(root.enabled) == 0 {
+		e.terminalPath()
+		return e.res
+	}
+	e.dfs()
+	return e.res
+}
+
+func (e *engine) top() *frame {
+	if len(e.stack) == 0 {
+		return nil
+	}
+	return e.stack[len(e.stack)-1]
+}
+
+func (e *engine) abort(desc string) {
+	e.recordViolation(desc)
+	e.aborted = true
+}
+
+// pushFrame records the state the model currently sits in as a new
+// stack frame reached via (viaID, viaMeta) with the given entry sleep.
+func (e *engine) pushFrame(viaID uint64, viaMeta Transition, sleep idSet) *frame {
+	e.ebuf = e.m.Enabled(e.ebuf[:0])
+	f := &frame{
+		viaID:   viaID,
+		viaMeta: viaMeta,
+		enabled: append([]Transition(nil), e.ebuf...),
+		index:   make(map[uint64]int, len(e.ebuf)),
+		sleep:   sleep,
+	}
+	depth := len(e.stack)
+	for i, t := range f.enabled {
+		f.index[t.ID] = i
+		if _, ok := e.meta[t.ID]; !ok {
+			e.meta[t.ID] = t
+			e.born[t.ID] = depth
+			f.introduced = append(f.introduced, t.ID)
+		}
+	}
+	e.stack = append(e.stack, f)
+	return f
+}
+
+func (e *engine) popFrame() {
+	f := e.top()
+	for _, id := range f.introduced {
+		delete(e.meta, id)
+		delete(e.born, id)
+	}
+	e.stack = e.stack[:len(e.stack)-1]
+	// The completed subtree puts its entry transition to sleep in the
+	// parent, so sibling subtrees skip it until a dependent transition
+	// filters it out on descent. Under DPOR this is the classic
+	// FG+sleep combination; it is sound only together with the
+	// raceUpdate repair that floods the backtrack set whenever a
+	// reversal candidate is itself asleep (backtrack additions assume
+	// the added transition will actually be explored).
+	if p := e.top(); p != nil && !p.frozen && e.cfg.Reduction != ReduceNone {
+		p.sleep.add(f.viaID)
+	}
+	e.dirty = true
+}
+
+// seedBacktrack initializes a DPOR frame with its first eligible
+// transition; races discovered later add more.
+func (e *engine) seedBacktrack(f *frame) {
+	f.backtrack = make(idSet, 2)
+	for _, t := range f.enabled {
+		if !f.sleep.has(t.ID) {
+			f.backtrack.add(t.ID)
+			return
+		}
+	}
+}
+
+func (e *engine) floodBacktrack(f *frame) {
+	for _, t := range f.enabled {
+		if !f.sleep.has(t.ID) {
+			f.backtrack.add(t.ID)
+		}
+	}
+}
+
+// btAdd adds a race reversal to a backtrack set. A candidate that is
+// asleep at that state would never execute there, so the set is
+// flooded with every awake transition instead — the FG fallback that
+// keeps the FG+sleep combination sound.
+func (e *engine) btAdd(f *frame, id uint64) {
+	if f.sleep.has(id) || f.blocked.has(id) {
+		e.floodBacktrack(f)
+		return
+	}
+	f.backtrack.add(id)
+}
+
+// floodStack floods every live frame's backtrack set. DPOR's race
+// detection reads races off executed trace suffixes; a path truncated
+// with transitions still pending (a detection clearing the queues, an
+// unspecified-transition panic, a deadlock) never executes that
+// suffix, so the races it would have revealed must be explored
+// conservatively instead.
+func (e *engine) floodStack() {
+	if e.cfg.Reduction != ReduceDPOR {
+		return
+	}
+	for _, f := range e.stack {
+		if !f.frozen && f.backtrack != nil {
+			e.floodBacktrack(f)
+		}
+	}
+}
+
+// nextCandidate picks the first enabled transition that still needs
+// exploring from f, honoring sleep/done/blocked and (under DPOR) the
+// backtrack set. Backtrack additions may land before an earlier scan
+// position, so the scan always restarts.
+func (e *engine) nextCandidate(f *frame) (Transition, bool) {
+	for _, t := range f.enabled {
+		if f.done.has(t.ID) || f.sleep.has(t.ID) || f.blocked.has(t.ID) {
+			continue
+		}
+		if f.backtrack != nil && !f.backtrack.has(t.ID) {
+			continue
+		}
+		return t, true
+	}
+	return Transition{}, false
+}
+
+func (e *engine) dfs() {
+	base := 0
+	for _, f := range e.stack {
+		if f.frozen {
+			base++
+		}
+	}
+	for !e.aborted {
+		if len(e.stack) <= base {
+			return
+		}
+		f := e.top()
+		if f.frozen {
+			return
+		}
+		if e.res.Paths >= e.cfg.MaxPaths {
+			e.res.Truncated = true
+			return
+		}
+		t, ok := e.nextCandidate(f)
+		if !ok {
+			e.finishFrame(f)
+			e.popFrame()
+			continue
+		}
+		if e.dirty && !e.replayToTop() {
+			return
+		}
+		st, panicMsg := e.takeRecover(t.ID)
+		if panicMsg != "" {
+			f.done.add(t.ID)
+			e.res.Paths++
+			e.res.Transitions++
+			e.recordViolationAt(t.ID, "panic: "+panicMsg)
+			e.raceUpdate(t)
+			e.floodStack()
+			e.dirty = true
+			if e.cfg.Reduction != ReduceNone {
+				f.sleep.add(t.ID)
+			}
+			continue
+		}
+		switch st {
+		case Blocked:
+			f.blocked.add(t.ID)
+			if f.backtrack != nil {
+				// The chosen representative cannot run here; fall back
+				// to the full persistent set so no race hides behind
+				// the back-pressure.
+				e.floodBacktrack(f)
+			}
+		case Detected:
+			f.done.add(t.ID)
+			e.res.Transitions++
+			e.raceUpdate(t)
+			e.floodStack()
+			e.stack = append(e.stack, &frame{viaID: t.ID, viaMeta: e.meta[t.ID]})
+			e.terminalPath()
+			e.popFrame()
+		case Progressed:
+			f.done.add(t.ID)
+			e.res.Transitions++
+			e.raceUpdate(t)
+			child := e.pushFrame(t.ID, e.meta[t.ID], e.childSleep(f, t))
+			switch {
+			case len(child.enabled) == 0:
+				e.terminalPath()
+				e.popFrame()
+			case len(e.stack)-1 > e.maxDepth:
+				e.res.Paths++
+				e.recordViolation(fmt.Sprintf("exceeded depth %d", e.cfg.MaxDepth))
+				e.floodStack()
+				e.popFrame()
+			case e.cfg.StateDedup && e.visitedPrune(child):
+				e.res.VisitedCut++
+				e.popFrame()
+			default:
+				if e.cfg.Reduction == ReduceDPOR {
+					e.seedBacktrack(child)
+				}
+			}
+		}
+	}
+}
+
+// childSleep carries the parent's sleep set down through t, waking
+// every member dependent with t.
+func (e *engine) childSleep(f *frame, t Transition) idSet {
+	if e.cfg.Reduction == ReduceNone {
+		return nil
+	}
+	var s idSet
+	for id := range f.sleep {
+		if e.cfg.Independent(e.meta[id], t) {
+			s.add(id)
+		}
+	}
+	return s
+}
+
+// finishFrame classifies a frame with no remaining candidates. A frame
+// that explored nothing is either a sleep-set stub (an equivalent
+// interleaving was explored elsewhere) or — when every transition is
+// back-pressured with none asleep — a genuinely stuck state.
+func (e *engine) finishFrame(f *frame) {
+	if len(f.done) > 0 || len(f.enabled) == 0 {
+		return
+	}
+	for _, t := range f.enabled {
+		if f.sleep.has(t.ID) {
+			e.res.SleepCut++
+			return
+		}
+	}
+	// All enabled transitions blocked: a real deadlock. Reposition the
+	// model so Finish sees this state.
+	if e.dirty && !e.replayToTop() {
+		return
+	}
+	e.floodStack()
+	e.terminalPath()
+}
+
+// terminalPath accounts one maximal interleaving ending at the model's
+// current state.
+func (e *engine) terminalPath() {
+	e.res.Paths++
+	out := e.m.Finish()
+	switch out.Status {
+	case StatusCompleted:
+		e.res.Completed++
+		if out.Flagged {
+			e.res.Flagged++
+		}
+	case StatusDetected:
+		e.res.Detected++
+	default:
+		e.res.Stuck++
+	}
+	if out.Err != "" {
+		e.recordViolation(out.Err)
+	}
+	if e.cfg.CollectTerminals {
+		e.enc.Reset()
+		e.m.Encode(&e.enc)
+		if e.res.Terminals == nil {
+			e.res.Terminals = make(map[Digest]int)
+		}
+		e.res.Terminals[e.enc.Digest()]++
+	}
+	e.dirty = true
+}
+
+// raceUpdate is the dynamic half of DPOR: executing t, walk the trace
+// backwards for the most recent transition dependent with t and not a
+// causal ancestor of it. The pre-state of that transition must also
+// explore the reversal, so t (or, if t was not yet in flight there,
+// t's earliest in-flight causal ancestor) joins its backtrack set.
+func (e *engine) raceUpdate(t Transition) {
+	if e.cfg.Reduction != ReduceDPOR {
+		return
+	}
+	// Causal ancestor transition indices of t: τ_i (entering frame
+	// i+1) sent the message chain leading to t.
+	anc := e.ancbuf[:0]
+	d, ok := e.born[t.ID]
+	for ok && d > 0 {
+		anc = append(anc, d-1)
+		sid := e.stack[d].viaID
+		d, ok = e.born[sid]
+	}
+	e.ancbuf = anc
+	inAnc := func(i int) bool {
+		for _, a := range anc {
+			if a == i {
+				return true
+			}
+		}
+		return false
+	}
+	for i := len(e.stack) - 2; i >= 0; i-- {
+		if inAnc(i) {
+			continue
+		}
+		tau := e.stack[i+1].viaMeta
+		if e.cfg.Independent(tau, t) {
+			continue
+		}
+		fi := e.stack[i]
+		if fi.frozen || fi.backtrack == nil {
+			// Fork-zone states explore every non-slept transition
+			// already; nothing to add.
+			return
+		}
+		if _, inFlight := fi.index[t.ID]; inFlight {
+			e.btAdd(fi, t.ID)
+			return
+		}
+		// t was created after state i: wake its earliest causal
+		// ancestor that was in flight there (ancestors are collected
+		// deepest-first, so scan from the end).
+		for j := len(anc) - 1; j >= 0; j-- {
+			if anc[j] <= i {
+				continue
+			}
+			aid := e.stack[anc[j]+1].viaID
+			if _, ok := fi.index[aid]; ok {
+				e.btAdd(fi, aid)
+				return
+			}
+		}
+		e.floodBacktrack(fi)
+		return
+	}
+}
+
+// visitedPrune consults and updates the visited-state table for the
+// just-pushed frame. A state is covered iff it was explored before
+// under a sleep set no larger than the current one (classic sleep-set
+// state caching: explored-from = enabled minus sleep, so a smaller
+// stored sleep explored a superset).
+func (e *engine) visitedPrune(f *frame) bool {
+	e.enc.Reset()
+	e.m.Encode(&e.enc)
+	dg := e.enc.Digest()
+	cur := e.sleepKeys(f.sleep)
+	entries := e.visited[dg[0]]
+	for i := range entries {
+		if entries[i].d2 != dg[1] {
+			continue
+		}
+		ent := &entries[i]
+		for _, stored := range ent.sleeps {
+			if subsetOf(stored, cur) {
+				return true
+			}
+		}
+		if e.nstates < e.cfg.MaxVisited {
+			ent.sleeps = keepMinimal(ent.sleeps, cur)
+			e.nstates++
+		}
+		return false
+	}
+	if e.nstates < e.cfg.MaxVisited {
+		e.visited[dg[0]] = append(entries, visitedEntry{
+			d2:     dg[1],
+			sleeps: [][]uint64{cur},
+		})
+		e.nstates++
+	}
+	return false
+}
+
+// sleepKeys canonicalizes a sleep set as the sorted content keys of
+// its members — comparable across different interleavings reaching
+// the same state, unlike the execution-local IDs.
+func (e *engine) sleepKeys(s idSet) []uint64 {
+	e.keybuf = e.keybuf[:0]
+	for id := range s {
+		e.keybuf = append(e.keybuf, e.meta[id].Key)
+	}
+	slices.Sort(e.keybuf)
+	return append([]uint64(nil), e.keybuf...)
+}
+
+// subsetOf reports a ⊆ b for sorted slices (multiset semantics).
+func subsetOf(a, b []uint64) bool {
+	i := 0
+	for _, v := range a {
+		for i < len(b) && b[i] < v {
+			i++
+		}
+		if i >= len(b) || b[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// keepMinimal adds cur to the stored sleep sets, dropping stored
+// supersets of cur (they are now redundant for future pruning).
+func keepMinimal(stored [][]uint64, cur []uint64) [][]uint64 {
+	kept := stored[:0]
+	for _, s := range stored {
+		if !subsetOf(cur, s) {
+			kept = append(kept, s)
+		}
+	}
+	return append(kept, cur)
+}
+
+// replayToTop repositions the model at the top frame's state by
+// resetting and re-taking the stack's choice sequence.
+func (e *engine) replayToTop() bool {
+	e.m.Reset()
+	for i := 1; i < len(e.stack); i++ {
+		st := e.safeTake(e.stack[i].viaID)
+		if st != Progressed {
+			e.abort(fmt.Sprintf("replay diverged at step %d id %d (step result %d)", i, e.stack[i].viaID, st))
+			return false
+		}
+		e.res.Replayed++
+	}
+	e.dirty = false
+	return true
+}
+
+// safeTake is Take for replay paths, where a panic means divergence.
+func (e *engine) safeTake(id uint64) (st Step) {
+	st = Blocked
+	defer func() {
+		if r := recover(); r != nil {
+			st = Blocked
+		}
+	}()
+	return e.m.Take(id)
+}
+
+func (e *engine) takeRecover(id uint64) (st Step, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	st = e.m.Take(id)
+	return st, ""
+}
+
+// recordViolationAt records a violation on the current path extended
+// by one final transition (used when that transition itself failed).
+func (e *engine) recordViolationAt(finalID uint64, desc string) {
+	e.stack = append(e.stack, &frame{viaID: finalID, viaMeta: e.meta[finalID]})
+	e.recordViolation(desc)
+	e.stack = e.stack[:len(e.stack)-1]
+}
+
+// recordViolation captures the current path, rendering each step now
+// (the model's per-path descriptions do not survive the next replay).
+func (e *engine) recordViolation(desc string) {
+	v := Violation{Desc: desc}
+	for i := 1; i < len(e.stack); i++ {
+		v.Path = append(v.Path, e.stack[i].viaID)
+		v.Trace = append(v.Trace, e.m.Describe(e.stack[i].viaID))
+	}
+	e.res.Violations = append(e.res.Violations, v)
+}

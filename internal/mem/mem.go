@@ -29,3 +29,15 @@ func (s *Store) Write(a coherence.Addr, v uint64) {
 
 // Len returns the number of blocks ever written.
 func (s *Store) Len() int { return len(s.versions) }
+
+// ForEach visits every written block in unspecified order. Callers
+// needing a canonical order (state fingerprinting) must sort; blocks
+// holding version 0 are indistinguishable from unwritten ones and are
+// skipped.
+func (s *Store) ForEach(fn func(a coherence.Addr, v uint64)) {
+	for a, v := range s.versions {
+		if v != 0 {
+			fn(a, v)
+		}
+	}
+}

@@ -1,17 +1,13 @@
 package snoop
 
 import (
-	"fmt"
-
 	"specsimp/internal/coherence"
-	"specsimp/internal/network"
-	"specsimp/internal/sim"
+	"specsimp/internal/explore"
 )
 
-// This file ports the directory protocol's explicit-state exploration
-// harness (internal/directory/explore.go) to the snooping protocol: it
-// exhaustively enumerates delivery orders for a small configuration and
-// verifies every outcome.
+// This file is the snooping protocol's front-end to the shared
+// model-checking engine (internal/explore; the model adapter lives in
+// model.go).
 //
 // Two orders are explored jointly. The address network's arbitration
 // order: any submitted-but-unordered request may be granted next (a
@@ -20,10 +16,12 @@ import (
 // data messages arrive in any order, as on the unordered torus. Within
 // the explored bounds this *proves* the paper's framework feature (2)
 // for the §3.2 design: the Spec variant, under every interleaving,
-// either completes with intact invariants or detects the corner case at
-// its single unspecified transition (a cache in WB_AI observing a
+// either completes with intact invariants or detects the corner case
+// at its single unspecified transition (a cache in WB_AI observing a
 // second foreign RequestReadWrite); and the Full variant, which
-// specifies that transition, never mis-speculates at all.
+// specifies that transition, never mis-speculates at all. Partial-
+// order reduction and state hashing push the provable scenarios from
+// the pre-PR-4 bound of 2 blocks × 3 nodes to 3+ blocks × 4+ nodes.
 
 // SScriptOp is one processor operation in an exploration scenario.
 type SScriptOp struct {
@@ -38,15 +36,28 @@ type SExploreConfig struct {
 	// Script holds each node's access sequence; a node issues its next
 	// operation when the previous one completes.
 	Script [][]SScriptOp
-	// MaxPaths caps the number of interleavings explored (0 = 1<<20).
+	// MaxPaths caps the number of interleavings explored (0 = 1<<20),
+	// applied per subtree task at every worker count (the frontier is
+	// decomposed the same way regardless of Workers).
 	MaxPaths int
-	// MaxDepth caps delivery steps per path (guards runaway paths).
+	// MaxDepth caps grant/delivery steps per path (0 = engine default).
 	MaxDepth int
+
+	// Reduce selects the pruning mode (zero = sleep sets + state
+	// dedup); NoDedup disables visited-state pruning. Workers and
+	// ForkDepth tune the parallel frontier (results are identical for
+	// every worker count). CollectTerminals records terminal-state
+	// digests for cross-mode equivalence tests.
+	Reduce           explore.Reduction
+	NoDedup          bool
+	Workers          int
+	ForkDepth        int
+	CollectTerminals bool
 }
 
 // SExploreResult summarizes an exploration.
 type SExploreResult struct {
-	Paths     int // interleavings executed
+	Paths     int // interleavings executed to a terminal state
 	Completed int // paths where every scripted access finished
 	Detected  int // paths ending in a detected corner-case (Spec)
 	// CornerHandled counts paths on which the Full variant absorbed the
@@ -54,214 +65,54 @@ type SExploreResult struct {
 	// exploration actually reaches the race the Spec variant leaves to
 	// speculation.
 	CornerHandled int
-	Truncated     bool
+	// SleepCut / VisitedCut count subtrees pruned by the sleep-set and
+	// visited-state reductions.
+	SleepCut    int
+	VisitedCut  int
+	Transitions uint64
+	Replayed    uint64
+	Tasks       int
+	Truncated   bool
 	// Violations collects descriptions of any incorrect outcome
-	// (invariant breakage, stuck path, wrong completion count).
+	// (invariant breakage, stuck path, unspecified-transition panic),
+	// each with its reproducing grant/delivery trace.
 	Violations []string
+	// Terminals holds the terminal-state digest multiset when
+	// CollectTerminals is set.
+	Terminals map[explore.Digest]int
 }
 
 // Ok reports whether no violations were found.
 func (r SExploreResult) Ok() bool { return len(r.Violations) == 0 }
 
-// exploreBus is an AddressNet under external control: submitted requests
-// queue unordered until the explorer grants one, which is then observed
-// by every attached observer in grant order.
-type exploreBus struct {
-	observers []BusObserver
-	queue     []coherence.Msg
-	seq       uint64
-	ordered   uint64
-	epoch     uint64
-}
-
-func (b *exploreBus) Submit(msg coherence.Msg) { b.queue = append(b.queue, msg) }
-func (b *exploreBus) Attach(o BusObserver)     { b.observers = append(b.observers, o) }
-func (b *exploreBus) Ordered() uint64          { return b.ordered }
-func (b *exploreBus) Reset() {
-	b.epoch++
-	b.queue = nil
-}
-
-// order grants the i-th queued request: it receives the next global
-// sequence number and is broadcast to all observers. A recovery fired
-// mid-broadcast aborts the remaining observers, like the timed Bus.
-func (b *exploreBus) order(i int) {
-	msg := b.queue[i]
-	b.queue = append(b.queue[:i:i], b.queue[i+1:]...)
-	seq := b.seq
-	b.seq++
-	b.ordered++
-	epoch := b.epoch
-	for _, o := range b.observers {
-		if b.epoch != epoch {
-			return
-		}
-		o.OnOrdered(seq, msg)
-	}
-}
-
-// sExploreFabric delivers data messages under external control.
-type sExploreFabric struct {
-	nodes   int
-	clients []network.Client
-	queue   []*network.Message
-}
-
-func (f *sExploreFabric) Send(m *network.Message)                         { f.queue = append(f.queue, m) }
-func (f *sExploreFabric) Kick(network.NodeID)                             {}
-func (f *sExploreFabric) AttachClient(n network.NodeID, c network.Client) { f.clients[n] = c }
-func (f *sExploreFabric) NumNodes() int                                   { return f.nodes }
-
-// ExploreSnoop enumerates delivery interleavings depth-first, exactly
-// like directory.Explore: paths are identified by their choice prefixes,
-// each run replays a prefix and then takes the first available choice
-// until quiescent, recording branch widths so unexplored siblings are
-// queued.
+// ExploreSnoop verifies every arbitration × delivery interleaving of
+// cfg's scenario (within bounds) on the shared engine.
 func ExploreSnoop(cfg SExploreConfig) SExploreResult {
-	if cfg.MaxPaths == 0 {
-		cfg.MaxPaths = 1 << 20
+	er := explore.Run(explore.Config{
+		NewModel:         func() explore.Model { return newSnoopModel(cfg) },
+		Reduction:        cfg.Reduce,
+		StateDedup:       !cfg.NoDedup,
+		MaxPaths:         cfg.MaxPaths,
+		MaxDepth:         cfg.MaxDepth,
+		Workers:          cfg.Workers,
+		ForkDepth:        cfg.ForkDepth,
+		CollectTerminals: cfg.CollectTerminals,
+	})
+	res := SExploreResult{
+		Paths:         er.Paths,
+		Completed:     er.Completed,
+		Detected:      er.Detected,
+		CornerHandled: er.Flagged,
+		SleepCut:      er.SleepCut,
+		VisitedCut:    er.VisitedCut,
+		Transitions:   er.Transitions,
+		Replayed:      er.Replayed,
+		Tasks:         er.Tasks,
+		Truncated:     er.Truncated,
+		Terminals:     er.Terminals,
 	}
-	if cfg.MaxDepth == 0 {
-		cfg.MaxDepth = 200
-	}
-	res := SExploreResult{}
-	work := [][]int{{}}
-	for len(work) > 0 {
-		if res.Paths >= cfg.MaxPaths {
-			res.Truncated = true
-			break
-		}
-		prefix := work[len(work)-1]
-		work = work[:len(work)-1]
-		widths := runSnoopPath(cfg, prefix, &res)
-		res.Paths++
-		for i := len(prefix); i < len(widths); i++ {
-			for c := 1; c < widths[i]; c++ {
-				branch := make([]int, i+1)
-				copy(branch, prefix)
-				branch[i] = c
-				work = append(work, branch)
-			}
-		}
+	for _, v := range er.Violations {
+		res.Violations = append(res.Violations, v.String())
 	}
 	return res
-}
-
-// runSnoopPath executes one interleaving. A panic (an unspecified
-// protocol transition) is captured and recorded with the offending path
-// — the most interesting violation an exploration can find.
-func runSnoopPath(cfg SExploreConfig, prefix []int, res *SExploreResult) (widthsOut []int) {
-	defer func() {
-		if r := recover(); r != nil {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: panic: %v", prefix, r))
-		}
-	}()
-	return runSnoopPathInner(cfg, prefix, res)
-}
-
-func runSnoopPathInner(cfg SExploreConfig, prefix []int, res *SExploreResult) []int {
-	k := sim.NewKernel()
-	bus := &exploreBus{}
-	f := &sExploreFabric{nodes: cfg.Nodes, clients: make([]network.Client, cfg.Nodes)}
-	pcfg := DefaultConfig(cfg.Nodes, cfg.Variant)
-	// A single-frame L2 makes every second block a guaranteed eviction:
-	// the writeback races the harness must reach cost one extra access
-	// instead of a long warm-up.
-	pcfg.L2Bytes, pcfg.L2Ways = 64, 1
-	pcfg.L1Bytes, pcfg.L1Ways = 64, 1
-	p := New(k, bus, f, pcfg, nil)
-	cornerBase := p.Stats().CornerHandled.Value()
-	detected := false
-	p.OnMisSpeculation = func(reason string) {
-		detected = true
-		// Exploration treats detection as a terminal, correct outcome:
-		// recovery would restore a checkpoint, which is verified by the
-		// system-level tests. Clear state so the run ends cleanly.
-		p.ResetTransients()
-		bus.Reset()
-		f.queue = nil
-	}
-
-	completed := 0
-	want := 0
-	for n, ops := range cfg.Script {
-		want += len(ops)
-		n := n
-		ops := ops
-		var issue func(i int)
-		issue = func(i int) {
-			if i >= len(ops) || detected {
-				return
-			}
-			p.Access(coherence.NodeID(n), ops[i].Addr, ops[i].Kind, func() {
-				completed++
-				issue(i + 1)
-			})
-		}
-		issue(0)
-	}
-
-	var widths []int
-	step := 0
-	for {
-		k.Drain(1_000_000)
-		nChoices := len(bus.queue) + len(f.queue)
-		if detected || nChoices == 0 {
-			break
-		}
-		if step >= cfg.MaxDepth {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: exceeded depth %d", prefix, cfg.MaxDepth))
-			return widths
-		}
-		choice := 0
-		if step < len(prefix) {
-			choice = prefix[step]
-		}
-		widths = append(widths, nChoices)
-		if choice >= nChoices {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: branch %d missing at step %d (%d choices)", prefix, choice, step, nChoices))
-			return widths
-		}
-		if choice < len(bus.queue) {
-			// Grant a queued address-network request.
-			bus.order(choice)
-		} else {
-			// Deliver a queued data message.
-			i := choice - len(bus.queue)
-			m := f.queue[i]
-			f.queue = append(f.queue[:i:i], f.queue[i+1:]...)
-			if !f.clients[m.Dst].Deliver(m) {
-				// Back-pressured (Data needing the occupied writeback
-				// TBE): requeue; progress comes from another choice.
-				f.queue = append(f.queue, m)
-			}
-		}
-		step++
-	}
-
-	switch {
-	case detected:
-		res.Detected++
-		if cfg.Variant == Full {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: full variant mis-speculated", prefix))
-		}
-	case completed == want && p.InFlight() == 0:
-		res.Completed++
-		if p.Stats().CornerHandled.Value() > cornerBase {
-			res.CornerHandled++
-		}
-		if err := p.AuditInvariants(); err != nil {
-			res.Violations = append(res.Violations,
-				fmt.Sprintf("path %v: %v", prefix, err))
-		}
-	default:
-		res.Violations = append(res.Violations,
-			fmt.Sprintf("path %v: stuck with %d/%d completed, %d in flight, %d bus + %d data queued",
-				prefix, completed, want, p.InFlight(), len(bus.queue), len(f.queue)))
-	}
-	return widths
 }

@@ -1,9 +1,11 @@
 package snoop
 
 import (
+	"reflect"
 	"testing"
 
 	"specsimp/internal/coherence"
+	"specsimp/internal/explore"
 )
 
 // Distinct blocks that collide in the explorer's single-frame L2, so a
@@ -11,6 +13,7 @@ import (
 const (
 	xBlkA = coherence.Addr(0x000)
 	xBlkB = coherence.Addr(0x400)
+	xBlkC = coherence.Addr(0x800)
 )
 
 // cornerScript provokes the §3.2 corner case: node 0 acquires A in M and
@@ -26,21 +29,38 @@ func cornerScript() [][]SScriptOp {
 	}
 }
 
-// TestSnoopExploreSpecDetectsEverywhere is the satellite's core claim:
-// under *every* explored delivery order (address-network arbitration ×
-// data delivery), the speculatively simplified snooping protocol either
-// completes with intact invariants or detects the corner case — never a
-// third outcome (silent corruption, unspecified-transition panic, or a
+// wideCornerScript is the scaled proof scenario: the same §3.2 corner
+// with a fourth active node and a third block in play, so detection
+// fires while unrelated transactions are mid-flight (the recovery-mid-
+// flight shape; the model checks ResetTransients leaves nothing
+// behind).
+func wideCornerScript() [][]SScriptOp {
+	return [][]SScriptOp{
+		0: {{xBlkA, coherence.Store}, {xBlkB, coherence.Store}},
+		1: {{xBlkA, coherence.Store}},
+		2: {{xBlkA, coherence.Store}},
+		3: {{xBlkC, coherence.Store}, {xBlkC, coherence.Load}},
+	}
+}
+
+// TestSnoopExploreSpecDetectsEverywhere is the core claim at the
+// scaled bound: under *every* explored order (address-network
+// arbitration × data delivery) on 3 blocks × 4 nodes, the
+// speculatively simplified snooping protocol either completes with
+// intact invariants or detects the corner case — never a third
+// outcome (silent corruption, unspecified-transition panic, or a
 // stuck protocol).
 func TestSnoopExploreSpecDetectsEverywhere(t *testing.T) {
 	res := ExploreSnoop(SExploreConfig{
-		Variant:  Spec,
-		Nodes:    3,
-		Script:   cornerScript(),
-		MaxPaths: 100_000,
+		Variant: Spec,
+		Nodes:   4,
+		Script:  wideCornerScript(),
 	})
 	if !res.Ok() {
 		t.Fatalf("violations (%d), first: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; the proof is not exhaustive")
 	}
 	if res.Detected == 0 {
 		t.Fatal("no interleaving triggered the corner case; exploration proves nothing")
@@ -49,8 +69,8 @@ func TestSnoopExploreSpecDetectsEverywhere(t *testing.T) {
 		t.Fatalf("paths=%d completed=%d detected=%d: unexplained outcomes",
 			res.Paths, res.Completed, res.Detected)
 	}
-	t.Logf("spec: %d interleavings — %d completed, %d detected (truncated=%v)",
-		res.Paths, res.Completed, res.Detected, res.Truncated)
+	t.Logf("spec 3x4: %d paths — %d completed, %d detected, cuts %d+%d",
+		res.Paths, res.Completed, res.Detected, res.SleepCut, res.VisitedCut)
 }
 
 // TestSnoopExploreFullHandlesCornerEverywhere: the fully designed
@@ -59,13 +79,15 @@ func TestSnoopExploreSpecDetectsEverywhere(t *testing.T) {
 // (CornerHandled > 0), otherwise the Spec result above proves nothing.
 func TestSnoopExploreFullHandlesCornerEverywhere(t *testing.T) {
 	res := ExploreSnoop(SExploreConfig{
-		Variant:  Full,
-		Nodes:    3,
-		Script:   cornerScript(),
-		MaxPaths: 100_000,
+		Variant: Full,
+		Nodes:   4,
+		Script:  wideCornerScript(),
 	})
 	if !res.Ok() {
 		t.Fatalf("violations (%d), first: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; the proof is not exhaustive")
 	}
 	if res.Detected != 0 {
 		t.Fatalf("full variant mis-speculated on %d paths", res.Detected)
@@ -76,49 +98,152 @@ func TestSnoopExploreFullHandlesCornerEverywhere(t *testing.T) {
 	if res.CornerHandled == 0 {
 		t.Fatal("no interleaving exercised the specified corner transition")
 	}
-	t.Logf("full: %d interleavings verified, corner handled on %d (truncated=%v)",
-		res.Paths, res.CornerHandled, res.Truncated)
+	t.Logf("full 3x4: %d paths verified, corner handled on %d, cuts %d+%d",
+		res.Paths, res.CornerHandled, res.SleepCut, res.VisitedCut)
 }
 
 // TestSnoopExploreSharingScenario explores a writeback-free read-share/
-// invalidate scenario: both variants complete every interleaving with
-// zero detections.
+// invalidate scenario at 4 nodes: both variants complete every
+// interleaving with zero detections.
 func TestSnoopExploreSharingScenario(t *testing.T) {
 	script := [][]SScriptOp{
 		0: {{xBlkA, coherence.Load}, {xBlkA, coherence.Store}},
 		1: {{xBlkA, coherence.Load}},
 		2: {{xBlkA, coherence.Store}},
+		3: {{xBlkC, coherence.Load}},
 	}
 	for _, v := range []Variant{Full, Spec} {
-		res := ExploreSnoop(SExploreConfig{
-			Variant:  v,
-			Nodes:    3,
-			Script:   script,
-			MaxPaths: 50_000,
-		})
+		res := ExploreSnoop(SExploreConfig{Variant: v, Nodes: 4, Script: script})
 		if !res.Ok() {
 			t.Fatalf("%s: %s", v, res.Violations[0])
 		}
 		if res.Detected != 0 {
 			t.Fatalf("%s: detections in a corner-free scenario", v)
 		}
-		t.Logf("%s sharing: %d interleavings verified", v, res.Paths)
+		t.Logf("%s sharing: %d paths verified", v, res.Paths)
 	}
 }
 
-// TestSnoopExploreDeterministicReplay: the same prefix always reproduces
-// the same branch widths (the explorer depends on replay determinism).
-func TestSnoopExploreDeterministicReplay(t *testing.T) {
-	cfg := SExploreConfig{Variant: Full, Nodes: 3, Script: cornerScript(), MaxPaths: 1}
-	var res SExploreResult
-	w1 := runSnoopPath(cfg, nil, &res)
-	w2 := runSnoopPath(cfg, nil, &res)
-	if len(w1) != len(w2) {
-		t.Fatalf("widths diverged: %v vs %v", w1, w2)
+// TestSnoopExploreModeEquivalence: every reduction mode reaches the
+// same terminal states on the enumerable pre-PR-4 corner scenario —
+// the protocol-level soundness check of the independence relation
+// (bus grants global, data deliveries per-cache).
+func TestSnoopExploreModeEquivalence(t *testing.T) {
+	terminals := map[string][]explore.Digest{}
+	for _, m := range []struct {
+		name    string
+		reduce  explore.Reduction
+		noDedup bool
+	}{
+		{"none", explore.ReduceNone, true},
+		{"sleep", explore.ReduceSleep, false},
+		{"dpor", explore.ReduceDPOR, true},
+	} {
+		res := ExploreSnoop(SExploreConfig{
+			Variant:          Spec,
+			Nodes:            3,
+			Script:           cornerScript(),
+			Reduce:           m.reduce,
+			NoDedup:          m.noDedup,
+			CollectTerminals: true,
+		})
+		if !res.Ok() {
+			t.Fatalf("%s: %s", m.name, res.Violations[0])
+		}
+		if res.Truncated {
+			t.Fatalf("%s: truncated", m.name)
+		}
+		var keys []explore.Digest
+		for d := range res.Terminals {
+			keys = append(keys, d)
+		}
+		sortSnoopDigests(keys)
+		terminals[m.name] = keys
+		t.Logf("%s: %d paths, %d distinct terminal states", m.name, res.Paths, len(keys))
 	}
-	for i := range w1 {
-		if w1[i] != w2[i] {
-			t.Fatalf("width[%d]: %d vs %d", i, w1[i], w2[i])
+	if !reflect.DeepEqual(terminals["none"], terminals["sleep"]) {
+		t.Fatalf("sleep reduction lost terminal states: %d vs %d",
+			len(terminals["sleep"]), len(terminals["none"]))
+	}
+	if !reflect.DeepEqual(terminals["none"], terminals["dpor"]) {
+		t.Fatalf("dpor reduction lost terminal states: %d vs %d",
+			len(terminals["dpor"]), len(terminals["none"]))
+	}
+}
+
+// TestSnoopExploreReductionRatio pins the acceptance bar on the
+// pre-PR-4 2-block corner script: the default reduction (sleep sets +
+// state dedup) explores at least 10x fewer interleavings than full
+// enumeration. Pure DPOR helps little here by construction — the
+// snooping address network is a totally ordered broadcast, so every
+// pair of bus grants is dependent and commutation-based reduction has
+// only the data deliveries to work with; it is the state-hash dedup
+// that collapses the grant orders (contrast the directory protocol,
+// whose unordered interconnect gives DPOR its 10x+ on its own). DPOR
+// must still be sound: no more paths than full enumeration.
+func TestSnoopExploreReductionRatio(t *testing.T) {
+	full := ExploreSnoop(SExploreConfig{
+		Variant: Spec, Nodes: 3, Script: cornerScript(),
+		Reduce: explore.ReduceNone, NoDedup: true, MaxPaths: 60_000,
+	})
+	if full.Truncated {
+		t.Fatalf("baseline truncated at %d paths", full.Paths)
+	}
+	def := ExploreSnoop(SExploreConfig{
+		Variant: Spec, Nodes: 3, Script: cornerScript(), ForkDepth: -1,
+	})
+	if !def.Ok() || def.Truncated {
+		t.Fatalf("default mode: %+v", def)
+	}
+	if def.Paths*10 > full.Paths {
+		t.Fatalf("default reduction explored %d paths vs %d full enumeration: less than 10x",
+			def.Paths, full.Paths)
+	}
+	dpor := ExploreSnoop(SExploreConfig{
+		Variant: Spec, Nodes: 3, Script: cornerScript(),
+		Reduce: explore.ReduceDPOR, NoDedup: true, ForkDepth: -1,
+	})
+	if !dpor.Ok() || dpor.Truncated {
+		t.Fatalf("dpor: %+v", dpor)
+	}
+	if dpor.Paths > full.Paths {
+		t.Fatalf("dpor explored more paths (%d) than full enumeration (%d)", dpor.Paths, full.Paths)
+	}
+	t.Logf("full=%d default=%d (%.0fx) dpor=%d (%.1fx)", full.Paths,
+		def.Paths, float64(full.Paths)/float64(def.Paths),
+		dpor.Paths, float64(full.Paths)/float64(dpor.Paths))
+}
+
+// TestSnoopExploreWorkerDeterminism: bit-identical results for every
+// worker count (run with -race in CI).
+func TestSnoopExploreWorkerDeterminism(t *testing.T) {
+	base := ExploreSnoop(SExploreConfig{
+		Variant: Spec, Nodes: 3, Script: cornerScript(),
+		Workers: 1, CollectTerminals: true,
+	})
+	for _, w := range []int{2, 8} {
+		got := ExploreSnoop(SExploreConfig{
+			Variant: Spec, Nodes: 3, Script: cornerScript(),
+			Workers: w, CollectTerminals: true,
+		})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged from workers=1:\n%+v\nvs\n%+v", w, base, got)
 		}
 	}
+	if base.Tasks < 2 {
+		t.Fatalf("expected a forked frontier, got %d tasks", base.Tasks)
+	}
+	t.Logf("%d paths over %d tasks, identical at 1/2/8 workers", base.Paths, base.Tasks)
+}
+
+func sortSnoopDigests(ds []explore.Digest) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && snoopDigestLess(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func snoopDigestLess(a, b explore.Digest) bool {
+	return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1])
 }

@@ -54,6 +54,23 @@ func TestValidateOversizeMachines(t *testing.T) {
 	}
 }
 
+// TestRunOneCheckedRejectsOversizeSnoop pins the end-to-end error
+// path: running a 256-node snooping machine returns the descriptive
+// snoop-cap error — no panic, no partial construction — which is what
+// the sweep engine's per-design-point error column relies on.
+func TestRunOneCheckedRejectsOversizeSnoop(t *testing.T) {
+	cfg := DefaultConfigSized(SnoopSpec, workload.Uniform, 16, 16)
+	_, err := RunOneChecked(cfg, 10_000)
+	if err == nil {
+		t.Fatal("RunOneChecked accepted a 256-node snooping machine")
+	}
+	for _, want := range []string{"64 nodes", "directory kind"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q not descriptive: missing %q", err, want)
+		}
+	}
+}
+
 // TestBuildPanicsStayForLegacyCallers keeps the documented contract of
 // the unchecked constructors: Build panics (with the same descriptive
 // error) for callers that treat configuration as a programming error.
