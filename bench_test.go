@@ -263,6 +263,42 @@ func BenchmarkRunOne(b *testing.B) {
 	b.ReportMetric(100_000, "sim-cycles/op")
 }
 
+// BenchmarkRunOne8x8 is the serial baseline for the intra-run sharding
+// benchmark below: the classic single-kernel path at the 64-node
+// geometry that dominates scale64 wall-clock.
+func BenchmarkRunOne8x8(b *testing.B) {
+	cfg := DefaultConfigSized(DirectorySpec, OLTP, 8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunOne(cfg, 100_000)
+		if res.Instructions == 0 {
+			b.Fatal("no forward progress")
+		}
+	}
+	b.ReportMetric(100_000, "sim-cycles/op")
+}
+
+// BenchmarkRunOneSharded measures the conservative-window parallel
+// intra-run path: the same 8×8 run split into 2 column-strip shards
+// (bit-identical results — the equivalence tests enforce it). Tracked
+// in BENCH_kernel.json against BenchmarkRunOne8x8; the win over the
+// serial baseline comes from the leaner windowed hot path (no spurious
+// credit wake-ups, occupancy-bitmap time advance) plus, on hosts with
+// cores to spare, actual parallel window execution.
+func BenchmarkRunOneSharded(b *testing.B) {
+	cfg := DefaultConfigSized(DirectorySpec, OLTP, 8, 8)
+	cfg.Shards = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunOne(cfg, 100_000)
+		if res.Instructions == 0 {
+			b.Fatal("no forward progress")
+		}
+	}
+	b.ReportMetric(100_000, "sim-cycles/op")
+	b.ReportMetric(2, "shards/op")
+}
+
 // BenchmarkSystemThroughput measures raw simulator speed: simulated
 // cycles per host second for the default speculative system.
 func BenchmarkSystemThroughput(b *testing.B) {

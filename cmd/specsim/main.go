@@ -32,6 +32,7 @@ func main() {
 		buffers  = flag.Int("buffers", 8, "buffer size for -net simplified")
 		inject   = flag.Uint64("inject", 0, "inject a recovery every N cycles (0 = off)")
 		interval = flag.Uint64("interval", 0, "checkpoint interval override in cycles")
+		shards   = flag.Int("shards", 0, "INTRA-run parallelism: partition this run's torus into N column-strip shards advancing in conservative lockstep windows (directory kinds on unlimited-buffer networks only; must divide the torus width; results are bit-identical for any N >= 1). 0 = classic serial path. Note -runs parallelizes ACROSS perturbed runs instead, one kernel each.")
 	)
 	flag.Parse()
 
@@ -66,6 +67,10 @@ func main() {
 		}
 	}
 	cfg.InjectRecoveryEvery = specsimp.Time(*inject)
+	cfg.Shards = *shards
+	if err := specsimp.ValidateConfig(cfg); err != nil {
+		log.Fatal(err)
+	}
 
 	if *runs <= 1 {
 		report(specsimp.RunOne(cfg, specsimp.Time(*cycles)))

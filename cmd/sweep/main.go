@@ -22,6 +22,14 @@
 //	sweep -exp all -out auto                    # timestamped dir under sweep-runs/
 //	sweep -exp fig4 -json                       # JSON summaries on stdout
 //
+// Two orthogonal parallelism axes: -parallel bounds how many design
+// points simulate concurrently (one kernel each, across runs), while
+// -shards splits each shard-capable run's torus into conservative-
+// window shards (intra-run; scale64's directory points). Artifacts are
+// byte-identical across any setting of either.
+//
+//	sweep -exp scale64 -parallel 4 -shards 4 -out /tmp/run2
+//
 // With -out, every run lands as one CSV row (<experiment>.csv), every
 // experiment writes a JSON summary (<experiment>.json), and the run is
 // described by manifest.json. Identical invocations reproduce the CSVs
@@ -53,7 +61,8 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, all")
 		quick    = flag.Bool("quick", false, "bench-sized parameters (faster, noisier)")
 		wlName   = flag.String("workload", "oltp", "workload for reorder/buffers/ablations")
-		parallel = flag.Int("parallel", 0, "worker-pool bound for grid execution (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
+		shards   = flag.Int("shards", 1, "INTRA-run parallelism for shard-capable design points (the scale64 directory machines): each single run partitions its torus into N column-strip shards advancing in conservative lockstep windows. Results and artifacts are byte-identical for every value; per point the count is clamped to the largest divisor of the torus width, and snooping points always simulate serially (ordered bus). Must be >= 1.")
 		out      = flag.String("out", "", "artifact directory for CSV+JSON results ('auto' = timestamped dir under sweep-runs/, empty = none)")
 		asJSON   = flag.Bool("json", false, "print JSON summaries to stdout instead of tables")
 	)
@@ -63,6 +72,10 @@ func main() {
 	if *quick {
 		p = specsimp.QuickParams()
 	}
+	if *shards < 1 {
+		log.Fatalf("-shards must be at least 1, got %d (intra-run shard counts partition a single simulation; 1 means serial)", *shards)
+	}
+	p.Shards = *shards
 	wl, ok := specsimp.WorkloadByName(*wlName)
 	if !ok {
 		log.Fatalf("unknown workload %q", *wlName)

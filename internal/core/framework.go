@@ -257,8 +257,12 @@ type AdaptiveRoutingToggle interface {
 // recovery, route statically for ReenableAfter cycles (0 = forever, the
 // paper's conservative extreme), so point-to-point order holds during
 // re-execution and the reordering race cannot recur.
+//
+// K is a sim.Scheduler rather than a kernel so sharded systems can
+// route the re-enable timer through window-edge control: toggling the
+// routing policy touches every shard and must not fire mid-window.
 type DisableAdaptiveRouting struct {
-	K             *sim.Kernel
+	K             sim.Scheduler
 	Net           AdaptiveRoutingToggle
 	ReenableAfter sim.Time
 
@@ -296,7 +300,7 @@ type OutstandingLimiter interface {
 // buffer-cycle deadlocks provably cannot recur, and with sufficient
 // buffering for Limit transactions slow-start avoids livelock (§4).
 type SlowStart struct {
-	K       *sim.Kernel
+	K       sim.Scheduler // window-edge scheduler in sharded systems (see DisableAdaptiveRouting.K)
 	Limiter OutstandingLimiter
 	Limit   int // outstanding transactions during slow-start (>=1)
 	Normal  int // normal limit to restore (0 = unlimited)

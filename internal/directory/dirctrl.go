@@ -33,6 +33,7 @@ type busyInfo struct {
 type dirCtrl struct {
 	p       *Protocol
 	node    coherence.NodeID
+	st      *Stats // the owning shard's stats
 	store   *mem.Store
 	entries map[coherence.Addr]*dirEntry
 	busy    map[coherence.Addr]*busyInfo
@@ -61,7 +62,7 @@ func (d *dirCtrl) invTargets(e *dirEntry, req coherence.NodeID) []int {
 	if e.sharers.broadcast() && len(kept) > 0 {
 		// Dir_i_B overflow: this fan-out is a broadcast to every node,
 		// the cost the limited-pointer format trades for its width.
-		d.p.st.InvBroadcasts.Inc()
+		d.st.InvBroadcasts.Inc()
 	}
 	return kept
 }
@@ -119,7 +120,7 @@ func (d *dirCtrl) handle(msg coherence.Msg) {
 func (d *dirCtrl) addSharer(s sharerSet, n coherence.NodeID) sharerSet {
 	ns := s.with(d.p.lay, int(n))
 	if ns.broadcast() && !s.broadcast() {
-		d.p.st.SharerOverflows.Inc()
+		d.st.SharerOverflows.Inc()
 	}
 	return ns
 }
@@ -207,7 +208,7 @@ func (d *dirCtrl) handlePutM(msg coherence.Msg) {
 		}
 		// The §3.1 race: a forward to the writing-back owner is in
 		// flight. Memory takes the written-back data either way.
-		d.p.st.WBRaces.Inc()
+		d.st.WBRaces.Inc()
 		d.logMem(a)
 		d.store.Write(a, msg.Version)
 		if d.p.cfg.Variant == Full {
@@ -310,7 +311,7 @@ func (d *dirCtrl) fwd(kind coherence.MsgKind, a coherence.Addr, owner int, req c
 
 func (d *dirCtrl) sendInvs(a coherence.Addr, targets []int, req coherence.NodeID, imprecise bool) {
 	for _, n := range targets {
-		d.p.st.Invalidations.Inc()
+		d.st.Invalidations.Inc()
 		d.p.sendAfter(d.p.cfg.DirLatency, coherence.Msg{
 			Kind: coherence.Inv, Addr: a, From: d.node, Requestor: req, Imprecise: imprecise,
 		}, coherence.NodeID(n))

@@ -64,7 +64,9 @@ type UndoLogger interface {
 	LogOldValue(node int, key uint64, undo func())
 }
 
-// Stats aggregates protocol measurements.
+// Stats aggregates protocol measurements. All fields are exact integer
+// accumulators, so per-shard instances merge to bit-identical totals
+// regardless of how the nodes were partitioned.
 type Stats struct {
 	Loads, Stores    stats.Counter
 	L1Hits, L2Hits   stats.Counter
@@ -81,16 +83,42 @@ type Stats struct {
 	SharerOverflows  stats.Counter // limited-pointer entries degraded to broadcast
 }
 
+// merge folds o into s (exact, order-independent).
+func (s *Stats) merge(o *Stats) {
+	s.Loads.Add(o.Loads.Value())
+	s.Stores.Add(o.Stores.Value())
+	s.L1Hits.Add(o.L1Hits.Value())
+	s.L2Hits.Add(o.L2Hits.Value())
+	s.Transactions.Add(o.Transactions.Value())
+	s.Writebacks.Add(o.Writebacks.Value())
+	s.RacesHandled.Add(o.RacesHandled.Value())
+	s.WBRaces.Add(o.WBRaces.Value())
+	s.DupDataDropped.Add(o.DupDataDropped.Value())
+	s.MissLatency.Merge(&o.MissLatency)
+	s.TimeoutsDetected.Add(o.TimeoutsDetected.Value())
+	s.OrderViolations.Add(o.OrderViolations.Value())
+	s.Invalidations.Add(o.Invalidations.Value())
+	s.InvBroadcasts.Add(o.InvBroadcasts.Value())
+	s.SharerOverflows.Add(o.SharerOverflows.Value())
+}
+
 // Protocol is a complete 16-node (configurable) MOSI directory protocol
 // instance wired to a network. Each node hosts a cache controller and a
 // directory controller for its share of the address space (block-
 // interleaved homes).
 type Protocol struct {
-	k   *sim.Kernel
+	k   *sim.Kernel // shard 0's kernel (the only kernel when serial)
 	net network.Fabric
 	cfg Config
 	lay sharerLayout // resolved sharer-set interpretation (from cfg)
 	log UndoLogger
+
+	// ks[node] and shardOf[node] map each node's controllers onto their
+	// execution shard (PartitionOnShards); serial protocols map every
+	// node to k / shard 0. All per-node work — delayed sends, completion
+	// callbacks, transaction timestamps — uses the owning node's kernel.
+	ks      []*sim.Kernel
+	shardOf []int
 
 	// OnMisSpeculation is invoked on a detected mis-speculation (Spec
 	// variant ordering violation, or a watchdog timeout). It must
@@ -99,17 +127,29 @@ type Protocol struct {
 	// that must not mis-speculate.
 	OnMisSpeculation func(reason string)
 
+	// OnMisSpeculationAt, when non-nil, takes precedence over
+	// OnMisSpeculation and additionally receives the detecting node.
+	// Sharded systems wire it to *defer* the recovery to the next
+	// window edge (a detection must not mutate other shards mid-window);
+	// the detecting handler simply drops its message, exactly as it
+	// does under an immediate recovery.
+	OnMisSpeculationAt func(node coherence.NodeID, reason string)
+
 	caches []*cacheCtrl
 	dirs   []*dirCtrl
 
-	st    Stats
+	// sts holds one Stats per shard (one entry when serial); Stats()
+	// merges them exactly, so totals are shard-count-independent.
+	sts   []Stats
 	epoch uint64 // bumped on reset; invalidates scheduled closures
 
 	// cmsgFree recycles the heap-boxed coherence.Msg payloads that ride
-	// inside network messages: a payload returns here once its network
-	// message is consumed. Together with the fabric's own message free
-	// list this makes the steady-state send path allocation-free.
-	cmsgFree pool.FreeList[coherence.Msg]
+	// inside network messages, one list per shard (drawn from the
+	// sender's shard, returned to the consumer's): a payload returns
+	// once its network message is consumed. Together with the fabric's
+	// own message free lists this keeps the steady-state send path
+	// allocation-free and race-free.
+	cmsgFree []pool.FreeList[coherence.Msg]
 }
 
 // Typed-event opcodes, packed into the low bits of a0 beside the epoch.
@@ -121,12 +161,15 @@ const (
 // HandleEvent implements sim.Handler for the protocol's delayed actions
 // (directory/cache response sends and processor completion callbacks).
 // Events scheduled before a recovery reset carry a stale epoch and are
-// dropped, exactly like the closure-based predecessor `after`.
+// dropped, exactly like the closure-based predecessor `after`. The
+// event always fires on the scheduling node's shard, so pool traffic
+// stays shard-local.
 func (p *Protocol) HandleEvent(a0, a1 uint64, pay any) {
 	op := a0 & 3
 	if a0>>2 != p.epoch {
 		if op == dopSend {
-			p.putCM(pay.(*coherence.Msg))
+			cm := pay.(*coherence.Msg)
+			p.putCM(p.shardOf[cm.From], cm)
 		}
 		return
 	}
@@ -138,22 +181,23 @@ func (p *Protocol) HandleEvent(a0, a1 uint64, pay any) {
 	}
 }
 
-func (p *Protocol) getCM() *coherence.Msg   { return p.cmsgFree.Get() }
-func (p *Protocol) putCM(cm *coherence.Msg) { p.cmsgFree.Put(cm) }
+func (p *Protocol) getCM(shard int) *coherence.Msg     { return p.cmsgFree[shard].Get() }
+func (p *Protocol) putCM(shard int, cm *coherence.Msg) { p.cmsgFree[shard].Put(cm) }
 
 // sendAfter schedules m to be sent to `to` after d cycles without
-// allocating: the message is boxed once from the pool and the delay is a
-// typed kernel event. A recovery in the meantime drops it.
+// allocating: the message is boxed once from the pool and the delay is
+// a typed event on the sending node's (m.From's) kernel. A recovery in
+// the meantime drops it.
 func (p *Protocol) sendAfter(d sim.Time, m coherence.Msg, to coherence.NodeID) {
-	cm := p.getCM()
+	cm := p.getCM(p.shardOf[m.From])
 	*cm = m
-	p.k.AfterEvent(d, p, p.epoch<<2|dopSend, uint64(to), cm)
+	p.ks[m.From].AfterEvent(d, p, p.epoch<<2|dopSend, uint64(to), cm)
 }
 
-// doneAfter schedules a processor completion callback after d cycles,
-// dropped on recovery (the restored processors re-issue).
-func (p *Protocol) doneAfter(d sim.Time, done func()) {
-	p.k.AfterEvent(d, p, p.epoch<<2|dopDone, 0, done)
+// doneAfter schedules a processor completion callback at node after d
+// cycles, dropped on recovery (the restored processors re-issue).
+func (p *Protocol) doneAfter(node coherence.NodeID, d sim.Time, done func()) {
+	p.ks[node].AfterEvent(d, p, p.epoch<<2|dopDone, 0, done)
 }
 
 // New builds the protocol over an existing network fabric; the fabric's
@@ -182,13 +226,20 @@ func NewChecked(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) (
 		return nil, err
 	}
 	p := &Protocol{k: k, net: net, cfg: cfg, lay: lay, log: log}
+	p.ks = make([]*sim.Kernel, cfg.Nodes)
+	p.shardOf = make([]int, cfg.Nodes)
+	p.sts = make([]Stats, 1)
+	p.cmsgFree = make([]pool.FreeList[coherence.Msg], 1)
 	p.caches = make([]*cacheCtrl, cfg.Nodes)
 	p.dirs = make([]*dirCtrl, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		i := i
+		p.ks[i] = k
 		p.caches[i] = &cacheCtrl{
 			p:              p,
 			node:           coherence.NodeID(i),
+			k:              k,
+			st:             &p.sts[0],
 			l1:             cache.New(cfg.L1Bytes, cfg.L1Ways),
 			l2:             cache.New(cfg.L2Bytes, cfg.L2Ways),
 			servedStable:   make(map[coherence.Addr]uint64),
@@ -197,6 +248,7 @@ func NewChecked(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) (
 		p.dirs[i] = &dirCtrl{
 			p:       p,
 			node:    coherence.NodeID(i),
+			st:      &p.sts[0],
 			store:   mem.NewStore(),
 			entries: make(map[coherence.Addr]*dirEntry),
 			busy:    make(map[coherence.Addr]*busyInfo),
@@ -209,8 +261,42 @@ func NewChecked(k *sim.Kernel, net network.Fabric, cfg Config, log UndoLogger) (
 	return p, nil
 }
 
-// Stats exposes protocol counters.
-func (p *Protocol) Stats() *Stats { return &p.st }
+// PartitionOnShards re-homes every node's controllers onto its shard:
+// node i's cache and directory slice schedule on g.Kernel(shardOf[i])
+// and count into that shard's Stats and payload pool. Call once, right
+// after NewChecked, before any traffic. The fabric must be the matching
+// sharded network, so that cross-node messages — the only cross-node
+// interaction the protocol has — cross shards through boundary queues.
+func (p *Protocol) PartitionOnShards(g *sim.Shards, shardOf []int) {
+	if len(shardOf) != p.cfg.Nodes {
+		panic("directory: shard map size mismatch")
+	}
+	p.k = g.Kernel(0)
+	p.sts = make([]Stats, g.N())
+	p.cmsgFree = make([]pool.FreeList[coherence.Msg], g.N())
+	copy(p.shardOf, shardOf)
+	for i := 0; i < p.cfg.Nodes; i++ {
+		sh := shardOf[i]
+		p.ks[i] = g.Kernel(sh)
+		p.caches[i].k = p.ks[i]
+		p.caches[i].st = &p.sts[sh]
+		p.dirs[i].st = &p.sts[sh]
+	}
+}
+
+// Stats exposes protocol counters: live for a serial protocol, an
+// exact merged snapshot (identical at any shard count) for a sharded
+// one. Sharded callers must be quiesced.
+func (p *Protocol) Stats() *Stats {
+	if len(p.sts) == 1 {
+		return &p.sts[0]
+	}
+	m := &Stats{}
+	for i := range p.sts {
+		m.merge(&p.sts[i])
+	}
+	return m
+}
 
 // Config returns the protocol configuration.
 func (p *Protocol) Config() Config { return p.cfg }
@@ -261,47 +347,68 @@ func (p *Protocol) ResetTransients() {
 	}
 }
 
+// TimeoutScan reports the first node (lowest id) whose outstanding
+// transaction has exceeded cfg.TimeoutCycles, if any. It reads every
+// node's TBEs, so sharded systems call it only from window-edge
+// control context (the system's watchdog), where all shards are
+// quiesced.
+func (p *Protocol) TimeoutScan() (coherence.NodeID, bool) {
+	if p.cfg.TimeoutCycles == 0 {
+		return 0, false
+	}
+	now := p.k.Now()
+	for _, c := range p.caches {
+		if c.req != nil && now-c.req.start > p.cfg.TimeoutCycles {
+			return c.node, true
+		}
+		if c.wb != nil && now-c.wb.start > p.cfg.TimeoutCycles {
+			return c.node, true
+		}
+	}
+	return 0, false
+}
+
+// NoteTimeout counts a watchdog detection (attributed to the control
+// shard so totals stay shard-count-independent).
+func (p *Protocol) NoteTimeout() { p.sts[0].TimeoutsDetected.Inc() }
+
 // StartWatchdog arms the §4 transaction-timeout deadlock detector:
 // every interval it checks all transactions and reports a
 // mis-speculation if any has been outstanding longer than
-// cfg.TimeoutCycles. A no-op if TimeoutCycles is zero.
+// cfg.TimeoutCycles. A no-op if TimeoutCycles is zero. Serial systems
+// only — sharded systems drive TimeoutScan from edge control instead.
 func (p *Protocol) StartWatchdog(interval sim.Time) {
 	if p.cfg.TimeoutCycles == 0 {
 		return
 	}
 	var tick func()
 	tick = func() {
-		now := p.k.Now()
-		for _, c := range p.caches {
-			if c.req != nil && now-c.req.start > p.cfg.TimeoutCycles {
-				p.st.TimeoutsDetected.Inc()
-				p.misSpeculate("deadlock-timeout")
-				break
-			}
-			if c.wb != nil && now-c.wb.start > p.cfg.TimeoutCycles {
-				p.st.TimeoutsDetected.Inc()
-				p.misSpeculate("deadlock-timeout")
-				break
-			}
+		if node, ok := p.TimeoutScan(); ok {
+			p.NoteTimeout()
+			p.misSpeculate(node, "deadlock-timeout")
 		}
 		p.k.After(interval, tick)
 	}
 	p.k.After(interval, tick)
 }
 
-// after schedules fn but drops it if a recovery reset happens first: a
-// delayed action of a rolled-back transaction must not leak into the
-// restored execution.
-func (p *Protocol) after(d sim.Time, fn func()) {
+// after schedules fn on node's kernel but drops it if a recovery reset
+// happens first: a delayed action of a rolled-back transaction must not
+// leak into the restored execution.
+func (p *Protocol) after(node coherence.NodeID, d sim.Time, fn func()) {
 	e := p.epoch
-	p.k.After(d, func() {
+	p.ks[node].After(d, func() {
 		if p.epoch == e {
 			fn()
 		}
 	})
 }
 
-func (p *Protocol) misSpeculate(reason string) {
+func (p *Protocol) misSpeculate(node coherence.NodeID, reason string) {
+	if p.OnMisSpeculationAt != nil {
+		p.OnMisSpeculationAt(node, reason)
+		return
+	}
 	if p.OnMisSpeculation == nil {
 		panic("directory: mis-speculation detected with no recovery wired: " + reason)
 	}
@@ -309,7 +416,7 @@ func (p *Protocol) misSpeculate(reason string) {
 }
 
 func (p *Protocol) send(m coherence.Msg, to coherence.NodeID) {
-	cm := p.getCM()
+	cm := p.getCM(p.shardOf[m.From])
 	*cm = m
 	p.sendPooled(cm, to)
 }
@@ -319,7 +426,7 @@ func (p *Protocol) send(m coherence.Msg, to coherence.NodeID) {
 // pool) or a recovery drops it (the box is simply garbage collected and
 // the pool refills).
 func (p *Protocol) sendPooled(cm *coherence.Msg, to coherence.NodeID) {
-	nm := network.Alloc(p.net)
+	nm := network.AllocFor(p.net, network.NodeID(cm.From))
 	nm.Src = network.NodeID(cm.From)
 	nm.Dst = network.NodeID(to)
 	nm.VNet = coherence.VNetOf(cm.Kind)
@@ -351,7 +458,7 @@ func (p *Protocol) deliver(node coherence.NodeID, nm *network.Message) bool {
 		consumed = p.caches[node].handle(msg)
 	}
 	if consumed && pooled {
-		p.putCM(cm)
+		p.putCM(p.shardOf[node], cm)
 	}
 	return consumed
 }
@@ -397,6 +504,8 @@ type parkedAccess struct {
 type cacheCtrl struct {
 	p    *Protocol
 	node coherence.NodeID
+	k    *sim.Kernel // the owning shard's kernel
+	st   *Stats      // the owning shard's stats
 	l1   *cache.Cache
 	l2   *cache.Cache
 	req  *reqTBE
@@ -494,9 +603,9 @@ func (c *cacheCtrl) access(addr coherence.Addr, kind coherence.AccessType, done 
 		panic("directory: concurrent accesses at one node (processor must block)")
 	}
 	if kind == coherence.Load {
-		c.p.st.Loads.Inc()
+		c.st.Loads.Inc()
 	} else {
-		c.p.st.Stores.Inc()
+		c.st.Stores.Inc()
 	}
 	// A block being written back is untouchable until the WBAck.
 	if c.wb != nil && c.wb.addr == addr {
@@ -510,17 +619,17 @@ func (c *cacheCtrl) access(addr coherence.Addr, kind coherence.AccessType, done 
 		if hit {
 			lat := c.p.cfg.L2Latency
 			if c.l1.Lookup(addr) != nil {
-				c.p.st.L1Hits.Inc()
+				c.st.L1Hits.Inc()
 				lat = c.p.cfg.L1Latency
 			} else {
-				c.p.st.L2Hits.Inc()
+				c.st.L2Hits.Inc()
 				c.installL1(addr)
 			}
 			if kind == coherence.Store {
 				c.logLine(addr)
 				line.Version++
 			}
-			c.p.doneAfter(lat, done)
+			c.p.doneAfter(c.node, lat, done)
 			return
 		}
 		// Store to S or O: upgrade.
@@ -546,12 +655,12 @@ func (c *cacheCtrl) installL1(addr coherence.Addr) {
 }
 
 func (c *cacheCtrl) startRequest(addr coherence.Addr, kind coherence.MsgKind, st CState, isStore bool, done func()) {
-	c.p.st.Transactions.Inc()
+	c.st.Transactions.Inc()
 	c.tidNext++
 	tid := uint64(c.node)<<48 | c.tidNext
 	c.reqStore = reqTBE{
 		addr: addr, state: st, isStore: isStore,
-		acksNeeded: -1, tid: tid, start: c.p.k.Now(), done: done,
+		acksNeeded: -1, tid: tid, start: c.k.Now(), done: done,
 	}
 	c.req = &c.reqStore
 	c.p.send(coherence.Msg{Kind: kind, Addr: addr, From: c.node, Requestor: c.node, TID: tid}, c.p.Home(addr))
@@ -586,7 +695,7 @@ func (c *cacheCtrl) handleData(msg coherence.Msg) bool {
 		// duplicate outliving its (completed) transaction — possible
 		// only in the Full variant, whose race handling double-sends.
 		if c.p.cfg.Variant == Full {
-			c.p.st.DupDataDropped.Inc()
+			c.st.DupDataDropped.Inc()
 			return true
 		}
 		c.unspecifiedCache(c.stateOf(msg.Addr), EvDataDup, msg)
@@ -688,12 +797,12 @@ func (c *cacheCtrl) finishRequest() {
 	}
 	c.installL1(t.addr)
 	c.p.send(coherence.Msg{Kind: coherence.FinalAck, Addr: t.addr, From: c.node, TID: t.tid}, c.p.Home(t.addr))
-	c.p.st.MissLatency.Observe(uint64(c.p.k.Now() - t.start))
+	c.st.MissLatency.Observe(uint64(c.k.Now() - t.start))
 	done := t.done
 	t.done = nil
 	c.req = nil
 	if done != nil {
-		c.p.doneAfter(0, done)
+		c.p.doneAfter(c.node, 0, done)
 	}
 }
 
@@ -726,7 +835,7 @@ func (c *cacheCtrl) acquireFrame(addr coherence.Addr) (*cache.Line, bool) {
 }
 
 func (c *cacheCtrl) startWriteback(v *cache.Line) {
-	c.p.st.Writebacks.Inc()
+	c.st.Writebacks.Inc()
 	addr, ver := v.Addr, v.Version
 	c.logLine(addr)
 	c.l1.Invalidate(addr)
@@ -737,7 +846,7 @@ func (c *cacheCtrl) startWriteback(v *cache.Line) {
 	} else {
 		clear(served)
 	}
-	c.wbStore = wbTBE{addr: addr, state: CWBa, version: ver, served: served, start: c.p.k.Now()}
+	c.wbStore = wbTBE{addr: addr, state: CWBa, version: ver, served: served, start: c.k.Now()}
 	c.wb = &c.wbStore
 	if tid, ok := c.servedStable[addr]; ok {
 		c.wb.served[tid] = true
@@ -754,7 +863,7 @@ func (c *cacheCtrl) freeWB() {
 	c.parked = nil
 	for _, a := range parked {
 		a := a
-		c.p.after(0, func() { c.access(a.addr, a.kind, a.done) })
+		c.p.after(c.node, 0, func() { c.access(a.addr, a.kind, a.done) })
 	}
 	c.p.net.Kick(network.NodeID(c.node))
 }
@@ -866,8 +975,8 @@ func (c *cacheCtrl) handleFwd(msg coherence.Msg) {
 		// copy receives a forwarded request. Under the Spec variant the
 		// interconnect reordered a WBAck ahead of this forward; recover.
 		if c.p.cfg.Variant == Spec {
-			c.p.st.OrderViolations.Inc()
-			c.p.misSpeculate("p2p-ordering")
+			c.st.OrderViolations.Inc()
+			c.p.misSpeculate(c.node, "p2p-ordering")
 			return
 		}
 		c.unspecifiedCache(CInv, ev, msg)
@@ -904,7 +1013,7 @@ func (c *cacheCtrl) handleWBAck(msg coherence.Msg) {
 			c.unspecifiedCache(c.wb.state, EvWBAckStale, msg)
 			return
 		}
-		c.p.st.RacesHandled.Inc()
+		c.st.RacesHandled.Inc()
 		if c.wb.served[msg.TID] || c.wb.state == CIIa {
 			c.freeWB()
 			return

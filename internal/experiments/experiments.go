@@ -46,10 +46,34 @@ type Params struct {
 	CheckpointInterval sim.Time
 	// Workloads are the profiles to evaluate (default: the paper's 5).
 	Workloads []workload.Profile
+	// Shards requests intra-run parallelism for the design points that
+	// support it (the scale64 directory machines): each single run
+	// partitions its torus into that many conservative-window shards.
+	// Orthogonal to the Runner's across-run worker bound. Values <= 1
+	// (including the zero default) run each point on one shard —
+	// still the windowed engine for shard-capable points, so artifacts
+	// are byte-identical across every Shards value. Per point the
+	// effective count is clamped to the largest divisor of the torus
+	// width, and snooping points always run the classic serial path.
+	Shards int
 	// Exec is the sweep engine the driver submits its grid to: it
 	// bounds worker concurrency and optionally persists artifacts. Nil
 	// uses a fresh engine bounded at GOMAXPROCS with no artifacts.
 	Exec *runner.Runner
+}
+
+// effectiveShards clamps the requested intra-run shard count to what a
+// w-wide torus supports: the largest count <= requested that divides w.
+func effectiveShards(requested, w int) int {
+	if requested > w {
+		requested = w
+	}
+	for s := requested; s > 1; s-- {
+		if w%s == 0 {
+			return s
+		}
+	}
+	return 1
 }
 
 // exec returns the configured sweep engine or a bounded default.
@@ -610,6 +634,12 @@ func ScaleSweep(p Params) []ScaleResult {
 				cfg.TimeoutCycles = 0
 				if kind.IsDirectory() {
 					cfg.Sharers = v.sharers
+					// Intra-run sharding, clamped per point; snooping
+					// points stay on the classic serial path (Shards 0).
+					// Directory points always use the windowed engine
+					// (Shards >= 1), so the CSVs are byte-identical for
+					// every requested -shards value — CI diffs them.
+					cfg.Shards = effectiveShards(p.Shards, v.w)
 				}
 				pts = repeats(pts, "scale64", cfg, p, map[string]string{
 					"kind":    kind.String(),

@@ -323,3 +323,48 @@ func TestSummary(t *testing.T) {
 		t.Fatalf("summary %q", s)
 	}
 }
+
+// TestScaleSweepShardDeterminism is the intra-run parallelism contract
+// the CI parallel-determinism lane enforces: scale64 artifacts are
+// byte-identical for every requested -shards value (directory points
+// run the conservative-window engine at the clamped shard count;
+// snooping points always run serial). The across-run worker count
+// varies too, so both parallelism axes are exercised at once.
+func TestScaleSweepShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale64 grid is slow; the CI lane runs it at full size")
+	}
+	p := tiny()
+	p.Cycles = 20_000
+	p.Workloads = []workload.Profile{workload.Uniform}
+	shardCounts := []int{1, 2, 4}
+	dirs := make([]string, len(shardCounts))
+	for i, shards := range shardCounts {
+		dirs[i] = t.TempDir()
+		sink, err := runner.NewSink(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Shards = shards
+		p.Exec = &runner.Runner{Workers: 1 + i, Sink: sink}
+		ScaleSweep(p)
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"scale64.csv", "scale64.json"} {
+		ref, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(dirs); i++ {
+			got, err := os.ReadFile(filepath.Join(dirs[i], name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("%s differs between -shards %d and -shards %d", name, shardCounts[0], shardCounts[i])
+			}
+		}
+	}
+}

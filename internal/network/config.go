@@ -18,7 +18,11 @@
 //     and are recovered from, not avoided.
 package network
 
-import "specsimp/internal/sim"
+import (
+	"math"
+
+	"specsimp/internal/sim"
+)
 
 // RoutingPolicy selects how switches pick output ports.
 type RoutingPolicy uint8
@@ -156,6 +160,26 @@ func (c Config) Validate() error {
 		return errConfig("VNets*VCsPerVNet must be at most 12")
 	}
 	return nil
+}
+
+// serLatency is the serialization latency of a size-byte message on
+// one link (at least one cycle).
+func (c Config) serLatency(size int) sim.Time {
+	cyc := math.Ceil(float64(size) / c.LinkBandwidth)
+	if cyc < 1 {
+		cyc = 1
+	}
+	return sim.Time(cyc)
+}
+
+// MinHopLatency is the smallest possible switch-to-switch delivery
+// latency under this configuration: the serialization of a minimum-size
+// (CtrlBytesDefault) message plus the propagation delay. It is the
+// conservative lookahead bound for intra-run sharding — a cross-shard
+// message sent at t cannot arrive before t+MinHopLatency, so shards may
+// run that many cycles between synchronizations.
+func (c Config) MinHopLatency() sim.Time {
+	return c.PropDelay + c.serLatency(CtrlBytesDefault)
 }
 
 type errConfig string

@@ -114,6 +114,6 @@ func TestDeflectionHopsExceedMinimal(t *testing.T) {
 		t.Skip("load produced no deflections")
 	}
 	if n.Stats().Hops.Max() <= 4 {
-		t.Fatalf("max hops %.0f never exceeded the torus diameter; deflections unobservable", n.Stats().Hops.Max())
+		t.Fatalf("max hops %d never exceeded the torus diameter; deflections unobservable", n.Stats().Hops.Max())
 	}
 }

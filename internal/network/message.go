@@ -59,6 +59,14 @@ type MessageAllocator interface {
 	AllocMessage() *Message
 }
 
+// ShardedAllocator is implemented by fabrics whose free lists are
+// striped per shard (*Network is); senders that know their source node
+// allocate from the owning shard's list so sharded hot paths stay both
+// race-free and allocation-free.
+type ShardedAllocator interface {
+	AllocMessageFor(src NodeID) *Message
+}
+
 // Alloc returns a message from f's free list when f recycles messages,
 // or a fresh message otherwise. The hot-path senders (the coherence
 // protocols) allocate through this so that scripted test fabrics keep
@@ -68,6 +76,15 @@ func Alloc(f Fabric) *Message {
 		return a.AllocMessage()
 	}
 	return &Message{}
+}
+
+// AllocFor is Alloc for senders that know the source node; on sharded
+// fabrics the message comes from that node's shard's free list.
+func AllocFor(f Fabric, src NodeID) *Message {
+	if a, ok := f.(ShardedAllocator); ok {
+		return a.AllocMessageFor(src)
+	}
+	return Alloc(f)
 }
 
 // Client consumes messages delivered to a node. Deliver is offered the

@@ -2,7 +2,6 @@ package network
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 
 	"specsimp/internal/pool"
@@ -19,34 +18,56 @@ import (
 // instead of every (port, class) queue, and all recurring work is
 // scheduled as typed kernel events rather than closures.
 type Network struct {
-	k   *sim.Kernel
+	k   *sim.Kernel // shard 0's kernel (the only kernel in serial mode)
 	cfg Config
 	t   topo
+
+	// grp and shardOf describe the conservative-window sharding of the
+	// torus (NewOnShards): each node's switch and endpoint live on the
+	// kernel of shard shardOf[node], and switch-to-switch arrivals
+	// travel through the group's boundary queues. Both are nil/zero for
+	// a serial network, where every node shares one kernel and arrivals
+	// are scheduled directly.
+	grp     *sim.Shards
+	shardOf []int
 
 	sw []*swch
 	ep []*endpoint
 
 	// seqNext[src][dst][vnet] is the next sequence number to stamp.
+	// Only src's shard touches seqNext[src], so the array is shared
+	// across shards without synchronization.
 	seqNext [][][]uint64
 	// maxSeen[dst][src][vnet] is the highest sequence number that has
-	// arrived, for reorder detection.
+	// arrived, for reorder detection. Owned by dst's shard.
 	maxSeen [][][]uint64
 
-	st NetStats
+	// sts holds one NetStats per shard: every hot-path counter is
+	// incremented by exactly one shard, and Stats() merges them with
+	// exact integer arithmetic, so totals are identical at any shard
+	// count. Serial networks have a single entry, returned live.
+	sts []NetStats
+
+	// swByShard[s] lists the switches shard s owns — the per-shard
+	// iteration set for window-edge work like publishOccupancy.
+	swByShard [][]*swch
 
 	adaptiveDisabled bool
 	epoch            uint64 // bumped by Reset to invalidate in-flight arrivals
 
-	// free recycles message structs allocated via AllocMessage. Messages
-	// return here when consumed by a client or dropped by a recovery
-	// Reset; messages the caller allocated itself are never recycled.
-	free pool.FreeList[Message]
+	// free recycles message structs allocated via AllocMessage, one
+	// list per shard (a message is taken from its source's list and
+	// returned to the list of whichever shard consumes or drops it).
+	// Messages the caller allocated itself are never recycled.
+	free []pool.FreeList[Message]
 
 	// TraceFn, when non-nil, receives one event per message lifecycle
 	// step. Used by examples/reorder to reproduce Figure 1. Trace
 	// consumers must not retain Msg pointers past the callback when the
 	// sender uses pooled messages (AllocMessage): the struct is recycled
-	// after consumption.
+	// after consumption. Serial networks only: on a sharded network the
+	// callback would fire concurrently from every shard, so trace()
+	// rejects the combination outright.
 	TraceFn func(TraceEvent)
 
 	// PerturbFn, when non-nil, returns an extra injection delay for a
@@ -56,7 +77,10 @@ type Network struct {
 	PerturbFn func(m *Message) sim.Time
 }
 
-// NetStats aggregates network measurements.
+// NetStats aggregates network measurements. Every field merges with
+// exact integer arithmetic (counters, histogram buckets, IntSample
+// sums), which is what lets per-shard stats aggregate to bit-identical
+// totals regardless of how the torus was partitioned.
 type NetStats struct {
 	Sent        stats.Counter
 	Arrived     stats.Counter // enqueued at destination ingress
@@ -66,9 +90,29 @@ type NetStats struct {
 	PerVNet     []stats.Counter
 	Deflections stats.Counter // unproductive hops taken under Deflection
 	Latency     stats.Histogram
-	Hops        stats.Sample
+	Hops        stats.IntSample
 
 	linkUtil [][numPorts]stats.Utilization
+}
+
+// merge folds o into s (exact, order-independent).
+func (s *NetStats) merge(o *NetStats) {
+	s.Sent.Add(o.Sent.Value())
+	s.Arrived.Add(o.Arrived.Value())
+	s.Consumed.Add(o.Consumed.Value())
+	s.Dropped.Add(o.Dropped.Value())
+	s.Deflections.Add(o.Deflections.Value())
+	for v := range s.Reordered {
+		s.Reordered[v].Add(o.Reordered[v].Value())
+		s.PerVNet[v].Add(o.PerVNet[v].Value())
+	}
+	s.Latency.Merge(&o.Latency)
+	s.Hops.Merge(o.Hops)
+	for i := range s.linkUtil {
+		for d := 0; d < numPorts; d++ {
+			s.linkUtil[i][d].Merge(o.linkUtil[i][d])
+		}
+	}
 }
 
 // ReorderRate returns the fraction of arrivals on vnet that arrived
@@ -181,8 +225,11 @@ const (
 )
 
 type swch struct {
-	n    *Network
-	node NodeID
+	n     *Network
+	node  NodeID
+	k     *sim.Kernel // the owning shard's kernel
+	st    *NetStats   // the owning shard's stats
+	shard int
 	// in[port][class] are input buffers. The Local port is the
 	// injection queue (unbounded: protocol-level MSHRs throttle it).
 	in [numPorts][]fifo
@@ -190,6 +237,18 @@ type swch struct {
 	// queue is nonempty; arbitration iterates set bits only. Config
 	// validation caps numPorts*classes at 64.
 	occ uint64
+	// inCount[port] tracks total queued messages per input port (the
+	// sum over classes), maintained on push/pop so the adaptive-routing
+	// occupancy signal is O(1) to read.
+	inCount [numPorts]int
+	// pubOcc[port] is this switch's input occupancy as of the last
+	// window edge, published by the owning shard for neighbors to read
+	// mid-window (stable until the next edge, so the cross-shard read
+	// is race-free and identical at every shard count). It stands in
+	// for the serial path's live occupancy read: congestion information
+	// with one-window delay — physically, backpressure signals
+	// propagate with latency too.
+	pubOcc [numPorts]int
 	// outBusy[dir] is when the outgoing link in dir frees.
 	outBusy [numPorts]sim.Time
 	// credits[dir][class] is free space in the downstream input buffer;
@@ -213,6 +272,9 @@ func (n *Network) sharedPool() bool {
 type endpoint struct {
 	n              *Network
 	node           NodeID
+	k              *sim.Kernel // the owning shard's kernel
+	st             *NetStats   // the owning shard's stats
+	shard          int
 	client         Client
 	ingress        []fifo
 	rr             int
@@ -234,17 +296,70 @@ func New(k *sim.Kernel, cfg Config) *Network {
 // NewChecked is New with configuration errors returned instead of
 // panicking mid-setup.
 func NewChecked(k *sim.Kernel, cfg Config) (*Network, error) {
+	return build(cfg, nil, nil, k)
+}
+
+// NewOnShards builds a network partitioned across a conservative-window
+// shard group: node i's switch and endpoint run on the kernel of shard
+// shardOf[i], and switch-to-switch arrivals cross shards through the
+// group's boundary queues (including same-shard links, so event order
+// — and therefore every result — is identical at any shard count).
+// The group's window must not exceed cfg.MinHopLatency().
+//
+// Sharded execution requires unlimited buffering (BufferSize and
+// EndpointBufferSize zero): finite buffers return credits to, and the
+// shared-pool design reads occupancy of, the upstream switch at zero
+// latency, which has no conservative lookahead.
+func NewOnShards(g *sim.Shards, cfg Config, shardOf []int) (*Network, error) {
+	if len(shardOf) != cfg.NumNodes() {
+		return nil, errConfig("shard map size does not match node count")
+	}
+	if cfg.BufferSize != 0 || cfg.EndpointBufferSize != 0 {
+		return nil, errConfig("sharded execution requires unlimited buffering (BufferSize and EndpointBufferSize 0): credit returns have no lookahead")
+	}
+	if g.Window() > cfg.MinHopLatency() {
+		return nil, errConfig("shard window exceeds the minimum hop latency (no conservative lookahead)")
+	}
+	for _, s := range shardOf {
+		if s < 0 || s >= g.N() {
+			return nil, errConfig("shard map names a shard outside the group")
+		}
+	}
+	return build(cfg, g, shardOf, g.Kernel(0))
+}
+
+func build(cfg Config, g *sim.Shards, shardOf []int, k0 *sim.Kernel) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{k: k, cfg: cfg, t: topo{cfg.Width, cfg.Height}}
+	n := &Network{k: k0, cfg: cfg, t: topo{cfg.Width, cfg.Height}, grp: g, shardOf: shardOf}
 	nodes := cfg.NumNodes()
 	classes := cfg.classes()
+
+	shards := 1
+	if g != nil {
+		shards = g.N()
+	}
+	if shardOf == nil {
+		n.shardOf = make([]int, nodes)
+	}
+	n.sts = make([]NetStats, shards)
+	for i := range n.sts {
+		n.sts[i].Reordered = make([]stats.Counter, cfg.VNets)
+		n.sts[i].PerVNet = make([]stats.Counter, cfg.VNets)
+		n.sts[i].linkUtil = make([][numPorts]stats.Utilization, nodes)
+	}
+	n.free = make([]pool.FreeList[Message], shards)
 
 	n.sw = make([]*swch, nodes)
 	n.ep = make([]*endpoint, nodes)
 	for i := 0; i < nodes; i++ {
-		s := &swch{n: n, node: NodeID(i)}
+		shard := n.shardOf[i]
+		nk := n.k
+		if g != nil {
+			nk = g.Kernel(shard)
+		}
+		s := &swch{n: n, node: NodeID(i), k: nk, st: &n.sts[shard], shard: shard}
 		for p := 0; p < numPorts; p++ {
 			s.in[p] = make([]fifo, classes)
 		}
@@ -259,15 +374,33 @@ func NewChecked(k *sim.Kernel, cfg Config) (*Network, error) {
 			}
 		}
 		n.sw[i] = s
-		n.ep[i] = &endpoint{n: n, node: NodeID(i), ingress: make([]fifo, classes)}
+		n.ep[i] = &endpoint{n: n, node: NodeID(i), k: nk, st: &n.sts[shard], shard: shard,
+			ingress: make([]fifo, classes)}
 	}
 
 	n.seqNext = make3d(nodes, nodes, cfg.VNets)
 	n.maxSeen = make3d(nodes, nodes, cfg.VNets)
-	n.st.Reordered = make([]stats.Counter, cfg.VNets)
-	n.st.PerVNet = make([]stats.Counter, cfg.VNets)
-	n.st.linkUtil = make([][numPorts]stats.Utilization, nodes)
+	if g != nil {
+		n.swByShard = make([][]*swch, shards)
+		for i, s := range n.sw {
+			n.swByShard[n.shardOf[i]] = append(n.swByShard[n.shardOf[i]], s)
+		}
+		if cfg.Routing == Adaptive || cfg.Routing == Deflection {
+			g.PreWindow(n.publishOccupancy)
+		}
+	}
 	return n, nil
+}
+
+// publishOccupancy updates, for every switch the given shard owns, the
+// published input-occupancy snapshot neighbors consult when routing
+// adaptively. It runs as a PreWindow phase: all shards are quiesced at
+// the edge, so the published values are stable (and deterministic) for
+// the whole window.
+func (n *Network) publishOccupancy(shard int) {
+	for _, s := range n.swByShard[shard] {
+		s.pubOcc = s.inCount
+	}
 }
 
 func make3d(a, b, c int) [][][]uint64 {
@@ -287,8 +420,24 @@ func (n *Network) Config() Config { return n.cfg }
 // NumNodes implements Fabric.
 func (n *Network) NumNodes() int { return n.cfg.NumNodes() }
 
-// Stats exposes the network's counters.
-func (n *Network) Stats() *NetStats { return &n.st }
+// Stats exposes the network's counters. Serial networks return the
+// live stats; sharded networks return a merged snapshot (exact integer
+// merges, so the totals are identical at any shard count). Call it only
+// while the group is quiesced (between Run windows or after Run).
+func (n *Network) Stats() *NetStats {
+	if len(n.sts) == 1 {
+		return &n.sts[0]
+	}
+	m := &NetStats{
+		Reordered: make([]stats.Counter, n.cfg.VNets),
+		PerVNet:   make([]stats.Counter, n.cfg.VNets),
+		linkUtil:  make([][numPorts]stats.Utilization, n.cfg.NumNodes()),
+	}
+	for i := range n.sts {
+		m.merge(&n.sts[i])
+	}
+	return m
+}
 
 // AttachClient registers the consumer of messages addressed to node.
 func (n *Network) AttachClient(node NodeID, c Client) { n.ep[node].client = c }
@@ -301,39 +450,59 @@ func (n *Network) SetAdaptiveDisabled(v bool) { n.adaptiveDisabled = v }
 // AdaptiveDisabled reports the current routing fallback state.
 func (n *Network) AdaptiveDisabled() bool { return n.adaptiveDisabled }
 
-// InFlight returns the number of messages injected but not yet consumed.
+// InFlight returns the number of messages injected but not yet
+// consumed (including, in sharded mode, messages waiting in boundary
+// queues). Quiesced-state only in sharded mode.
 func (n *Network) InFlight() int {
-	return int(n.st.Sent.Value() - n.st.Consumed.Value() - n.st.Dropped.Value())
+	var sent, consumed, dropped uint64
+	for i := range n.sts {
+		sent += n.sts[i].Sent.Value()
+		consumed += n.sts[i].Consumed.Value()
+		dropped += n.sts[i].Dropped.Value()
+	}
+	return int(sent - consumed - dropped)
 }
 
 // AllocMessage returns a zeroed message from the network's free list
 // (implementing MessageAllocator). Messages obtained here are recycled
 // automatically once consumed by the destination client or dropped by a
 // recovery Reset; callers must not retain them past that point.
-func (n *Network) AllocMessage() *Message {
-	m := n.free.Get()
+// Sharded senders use AllocMessageFor so the struct comes from the
+// sending shard's list.
+func (n *Network) AllocMessage() *Message { return n.allocMsg(0) }
+
+// AllocMessageFor is AllocMessage drawing from the list of src's shard
+// (implementing ShardedAllocator).
+func (n *Network) AllocMessageFor(src NodeID) *Message {
+	return n.allocMsg(n.shardOf[src])
+}
+
+func (n *Network) allocMsg(shard int) *Message {
+	m := n.free[shard].Get()
 	*m = Message{pooled: true}
 	return m
 }
 
-// releaseMsg returns a pooled message to the free list. Messages not
-// minted by AllocMessage pass through untouched.
-func (n *Network) releaseMsg(m *Message) {
+// releaseMsg returns a pooled message to the free list of the shard
+// that consumed or dropped it. Messages not minted by AllocMessage pass
+// through untouched.
+func (n *Network) releaseMsg(shard int, m *Message) {
 	if m == nil || !m.pooled {
 		return
 	}
 	m.pooled = false // guards against double release
 	m.Payload = nil
-	n.free.Put(m)
+	n.free[shard].Put(m)
 }
 
 // HandleEvent implements sim.Handler for network-level typed events
-// (delayed injections and loopback arrivals).
+// (delayed injections and loopback arrivals). These are node-local:
+// they fire on the source node's shard kernel.
 func (n *Network) HandleEvent(a0, a1 uint64, p any) {
 	m := p.(*Message)
 	if a1 != n.epoch {
-		n.st.Dropped.Inc()
-		n.releaseMsg(m)
+		n.sts[n.shardOf[m.Src]].Dropped.Inc()
+		n.releaseMsg(n.shardOf[m.Src], m)
 		return
 	}
 	switch a0 {
@@ -351,7 +520,9 @@ func (n *Network) inject(m *Message) {
 }
 
 // Send injects m at its source. VNet out of range or equal src/dst
-// without a size are programming errors and panic.
+// without a size are programming errors and panic. In sharded mode the
+// caller must be running on the source node's shard (protocol sends
+// always are: a node only sends on its own behalf).
 func (n *Network) Send(m *Message) {
 	if m.VNet < 0 || m.VNet >= n.cfg.VNets {
 		panic(fmt.Sprintf("network: vnet %d out of range", m.VNet))
@@ -359,12 +530,19 @@ func (n *Network) Send(m *Message) {
 	if m.Size <= 0 {
 		m.Size = CtrlBytesDefault
 	}
+	if n.grp != nil && m.Size < CtrlBytesDefault {
+		// The shard window is derived from the minimum hop latency of a
+		// CtrlBytesDefault-sized message; anything smaller would arrive
+		// inside the conservative lookahead.
+		panic(fmt.Sprintf("network: sharded send of %dB message below the %dB minimum the lookahead window assumes", m.Size, CtrlBytesDefault))
+	}
+	k := n.sw[m.Src].k
 	m.Seq = n.seqNext[m.Src][m.Dst][m.VNet]
 	n.seqNext[m.Src][m.Dst][m.VNet]++
-	m.SentAt = n.k.Now()
+	m.SentAt = k.Now()
 	m.vc = 0
 	m.Hops = 0
-	n.st.Sent.Inc()
+	n.sw[m.Src].st.Sent.Inc()
 	n.trace(TraceInject, m.Src, -1, m)
 
 	var jitter sim.Time
@@ -373,14 +551,14 @@ func (n *Network) Send(m *Message) {
 	}
 	if m.Src == m.Dst {
 		// Loopback: bypass the switch fabric, pay propagation only.
-		n.k.AfterEvent(n.cfg.PropDelay+jitter, n, netOpLoopback, n.epoch, m)
+		k.AfterEvent(n.cfg.PropDelay+jitter, n, netOpLoopback, n.epoch, m)
 		return
 	}
 	if jitter == 0 {
 		n.inject(m)
 		return
 	}
-	n.k.AfterEvent(jitter, n, netOpInject, n.epoch, m)
+	k.AfterEvent(jitter, n, netOpInject, n.epoch, m)
 }
 
 // CtrlBytesDefault is the assumed size for messages injected without one.
@@ -392,7 +570,10 @@ func (n *Network) Kick(node NodeID) { n.ep[node].scheduleConsume() }
 
 // Reset drops every in-flight message and restores all buffer credit —
 // the network's part of a SafetyNet recovery (in-flight messages are
-// part of the checkpointed state being discarded).
+// part of the checkpointed state being discarded). In sharded mode it
+// runs only from window-edge control context, where every shard is
+// quiesced at the same instant; drops land in the owning node's shard
+// stats so merged totals stay partition-independent.
 func (n *Network) Reset() {
 	n.epoch++
 	for _, s := range n.sw {
@@ -400,13 +581,14 @@ func (n *Network) Reset() {
 			for c := range s.in[p] {
 				q := &s.in[p][c]
 				for i := 0; i < q.len(); i++ {
-					n.releaseMsg(q.at(i))
+					n.releaseMsg(s.shard, q.at(i))
 				}
-				n.st.Dropped.Add(uint64(q.len()))
+				s.st.Dropped.Add(uint64(q.len()))
 				q.reset()
 			}
 		}
 		s.occ = 0
+		s.inCount = [numPorts]int{}
 		s.poolUsed = 0
 		for d := North; d <= West; d++ {
 			for c := range s.credits[d] {
@@ -416,8 +598,8 @@ func (n *Network) Reset() {
 					s.credits[d][c] = n.cfg.BufferSize
 				}
 			}
-			if s.outBusy[d] > n.k.Now() {
-				s.outBusy[d] = n.k.Now()
+			if s.outBusy[d] > s.k.Now() {
+				s.outBusy[d] = s.k.Now()
 			}
 		}
 	}
@@ -425,9 +607,9 @@ func (n *Network) Reset() {
 		for c := range e.ingress {
 			q := &e.ingress[c]
 			for i := 0; i < q.len(); i++ {
-				n.releaseMsg(q.at(i))
+				n.releaseMsg(e.shard, q.at(i))
 			}
-			n.st.Dropped.Add(uint64(q.len()))
+			e.st.Dropped.Add(uint64(q.len()))
 			q.reset()
 		}
 	}
@@ -444,17 +626,14 @@ func (n *Network) Reset() {
 
 func (n *Network) trace(kind TraceEventKind, node NodeID, dir int, m *Message) {
 	if n.TraceFn != nil {
-		n.TraceFn(TraceEvent{At: n.k.Now(), Node: node, Dir: dir, Kind: kind, Msg: m})
+		if n.grp != nil {
+			panic("network: TraceFn is not supported on a sharded network (the callback would fire concurrently from every shard)")
+		}
+		n.TraceFn(TraceEvent{At: n.sw[node].k.Now(), Node: node, Dir: dir, Kind: kind, Msg: m})
 	}
 }
 
-func (n *Network) serLatency(size int) sim.Time {
-	c := math.Ceil(float64(size) / n.cfg.LinkBandwidth)
-	if c < 1 {
-		c = 1
-	}
-	return sim.Time(c)
-}
+func (n *Network) serLatency(size int) sim.Time { return n.cfg.serLatency(size) }
 
 // ---- switch ----
 
@@ -471,8 +650,8 @@ func (s *swch) HandleEvent(a0, a1 uint64, p any) {
 	case swOpArrive:
 		m := p.(*Message)
 		if a1>>8 != s.n.epoch {
-			s.n.st.Dropped.Inc()
-			s.n.releaseMsg(m)
+			s.st.Dropped.Inc()
+			s.n.releaseMsg(s.shard, m)
 			return
 		}
 		s.pushIn(int(a1&0xff), s.n.cfg.classOf(m.VNet, m.vc), m)
@@ -482,6 +661,7 @@ func (s *swch) HandleEvent(a0, a1 uint64, p any) {
 
 func (s *swch) pushIn(port, class int, m *Message) {
 	s.in[port][class].push(m)
+	s.inCount[port]++
 	s.occ |= 1 << uint(port*s.n.cfg.classes()+class)
 }
 
@@ -490,6 +670,7 @@ func (s *swch) pushIn(port, class int, m *Message) {
 func (s *swch) popIn(port, class int) *Message {
 	q := &s.in[port][class]
 	m := q.pop()
+	s.inCount[port]--
 	if q.len() == 0 {
 		s.occ &^= 1 << uint(port*s.n.cfg.classes()+class)
 	}
@@ -501,17 +682,17 @@ func (s *swch) scheduleArb() {
 		return
 	}
 	s.arbPending = true
-	s.n.k.AfterEvent(0, s, swOpArb, 0, nil)
+	s.k.AfterEvent(0, s, swOpArb, 0, nil)
 }
 
 func (s *swch) scheduleArbAt(t sim.Time) {
-	s.n.k.AtEvent(t, s, swOpRetry, 0, nil)
+	s.k.AtEvent(t, s, swOpRetry, 0, nil)
 }
 
 func (s *swch) arb() {
 	s.arbPending = false
 	n := s.n
-	now := n.k.Now()
+	now := s.k.Now()
 	classes := n.cfg.classes()
 	total := numPorts * classes
 	progressed := false
@@ -569,7 +750,7 @@ func (s *swch) arb() {
 // purely on credit).
 func (s *swch) pickOutput(m *Message) (dir int, ok bool, busyUntil sim.Time) {
 	n := s.n
-	now := n.k.Now()
+	now := s.k.Now()
 	adaptive := (n.cfg.Routing == Adaptive || n.cfg.Routing == Deflection) && !n.adaptiveDisabled
 
 	if !adaptive {
@@ -609,7 +790,7 @@ func (s *swch) pickOutput(m *Message) (dir int, ok bool, busyUntil sim.Time) {
 			}
 			continue
 		}
-		occ := n.downstreamOccupancy(s.node, d)
+		occ := s.downstreamOccupancy(d)
 		if occ < bestOcc {
 			bestOcc = occ
 			best = d
@@ -632,14 +813,14 @@ func (s *swch) pickOutput(m *Message) (dir int, ok bool, busyUntil sim.Time) {
 				}
 				continue
 			}
-			occ := n.downstreamOccupancy(s.node, d)
+			occ := s.downstreamOccupancy(d)
 			if occ < bestOcc {
 				bestOcc = occ
 				best = d
 			}
 		}
 		if best >= 0 {
-			n.st.Deflections.Inc()
+			s.st.Deflections.Inc()
 		}
 	}
 	if best < 0 {
@@ -652,16 +833,19 @@ func (s *swch) pickOutput(m *Message) (dir int, ok bool, busyUntil sim.Time) {
 	return best, true, 0
 }
 
-// downstreamOccupancy is the total queued messages at the input port the
-// link in dir feeds — the "outgoing queue length" signal of paper §3.1.
-func (n *Network) downstreamOccupancy(from NodeID, dir int) int {
-	nb := n.t.neighbor(from, dir)
-	p := opposite(dir)
-	occ := 0
-	for c := range n.sw[nb].in[p] {
-		occ += n.sw[nb].in[p][c].len()
+// downstreamOccupancy is the total queued messages at the input port
+// the link in dir feeds — the "outgoing queue length" signal of paper
+// §3.1. Serial networks read the neighbor live; sharded networks read
+// the neighbor's edge-published snapshot, since the live count may
+// belong to another shard executing concurrently (and the estimate
+// must be identical at every shard count, so the snapshot is used for
+// same-shard neighbors too).
+func (s *swch) downstreamOccupancy(dir int) int {
+	nb := s.n.sw[s.n.t.neighbor(s.node, dir)]
+	if s.n.grp != nil {
+		return nb.pubOcc[opposite(dir)]
 	}
-	return occ
+	return nb.inCount[opposite(dir)]
 }
 
 // nextVC computes the virtual channel for the next hop: reset on
@@ -703,7 +887,7 @@ func (s *swch) hasCredit(dir, class int) bool {
 
 func (s *swch) forward(m *Message, dir int) {
 	n := s.n
-	now := n.k.Now()
+	now := s.k.Now()
 	cls := n.cfg.classOf(m.VNet, m.vc)
 	if n.sharedPool() {
 		n.sw[n.t.neighbor(s.node, dir)].poolUsed++
@@ -712,14 +896,28 @@ func (s *swch) forward(m *Message, dir int) {
 	}
 	ser := n.serLatency(m.Size)
 	s.outBusy[dir] = now + ser
-	n.st.linkUtil[s.node][dir].AddBusy(uint64(ser))
+	s.st.linkUtil[s.node][dir].AddBusy(uint64(ser))
 	m.Hops++
 	m.dimHint = dimension(dir)
 	n.trace(TraceForward, s.node, dir, m)
 
 	dst := n.t.neighbor(s.node, dir)
 	inPort := opposite(dir)
-	n.k.AfterEvent(ser+n.cfg.PropDelay, n.sw[dst], swOpArrive,
+	if n.grp != nil {
+		// Every switch-to-switch arrival — same-shard links included —
+		// travels through the boundary queues and enters the target
+		// kernel at a window edge. Uniform handoff is what makes event
+		// order, and therefore every stat, independent of the shard
+		// count: an arrival's position in its bucket never depends on
+		// where the partition boundary happens to fall. Link latency is
+		// at least the window (ser >= the minimum-size serialization
+		// the window was derived from), so the arrival always lands at
+		// or beyond the next edge.
+		n.grp.Post(s.shard, n.sw[dst].shard, now+ser+n.cfg.PropDelay,
+			n.sw[dst], swOpArrive, n.epoch<<8|uint64(inPort), m)
+		return
+	}
+	s.k.AfterEvent(ser+n.cfg.PropDelay, n.sw[dst], swOpArrive,
 		n.epoch<<8|uint64(inPort), m)
 }
 
@@ -731,6 +929,14 @@ func (s *swch) returnCredit(port, class int) {
 		return
 	}
 	n := s.n
+	if n.grp != nil {
+		// Sharded networks run with unlimited buffering (enforced at
+		// build), so there is no credit to return and no upstream
+		// switch blocked on one: skip the zero-latency cross-shard
+		// wake-up entirely. An upstream blocked on a busy link retries
+		// by timer, and endpoint back-pressure cannot occur.
+		return
+	}
 	if n.sharedPool() {
 		// A pool slot freed: any neighbor could have been waiting.
 		s.poolUsed--
@@ -750,14 +956,15 @@ func (s *swch) returnCredit(port, class int) {
 // ---- endpoint ----
 
 func (n *Network) arriveLocal(m *Message) {
-	now := n.k.Now()
+	st := n.ep[m.Dst].st
+	now := n.ep[m.Dst].k.Now()
 	m.DeliveredAt = now
-	n.st.Arrived.Inc()
-	n.st.PerVNet[m.VNet].Inc()
-	n.st.Latency.Observe(uint64(now - m.SentAt))
-	n.st.Hops.Observe(float64(m.Hops))
+	st.Arrived.Inc()
+	st.PerVNet[m.VNet].Inc()
+	st.Latency.Observe(uint64(now - m.SentAt))
+	st.Hops.Observe(uint64(m.Hops))
 	if m.Seq < n.maxSeen[m.Dst][m.Src][m.VNet] {
-		n.st.Reordered[m.VNet].Inc()
+		st.Reordered[m.VNet].Inc()
 	} else {
 		n.maxSeen[m.Dst][m.Src][m.VNet] = m.Seq
 	}
@@ -791,7 +998,7 @@ func (e *endpoint) scheduleConsume() {
 		return
 	}
 	e.consumePending = true
-	e.n.k.AfterEvent(0, e, epOpConsume, 0, nil)
+	e.k.AfterEvent(0, e, epOpConsume, 0, nil)
 }
 
 func (e *endpoint) consume() {
@@ -821,8 +1028,8 @@ func (e *endpoint) consume() {
 			continue // head-of-line blocked in this class
 		}
 		e.ingress[c].pop()
-		n.st.Consumed.Inc()
-		n.releaseMsg(m)
+		e.st.Consumed.Inc()
+		n.releaseMsg(e.shard, m)
 		consumed++
 		n.sw[e.node].scheduleArb() // ingress space freed
 	}
@@ -834,7 +1041,7 @@ func (e *endpoint) consume() {
 	if consumed > 0 {
 		for c := range e.ingress {
 			if e.ingress[c].len() > 0 {
-				n.k.AfterEvent(1, e, epOpRetry, 0, nil)
+				e.k.AfterEvent(1, e, epOpRetry, 0, nil)
 				break
 			}
 		}

@@ -20,9 +20,11 @@ type AccessFunc func(node coherence.NodeID, addr coherence.Addr, kind coherence.
 
 // Processor is one blocking core driven by a workload generator.
 type Processor struct {
-	pool *Pool
-	node coherence.NodeID
-	gen  workload.Generator
+	pool  *Pool
+	node  coherence.NodeID
+	k     *sim.Kernel // the owning shard's kernel
+	shard int
+	gen   workload.Generator
 
 	// Instret counts retired instructions (think cycles + 1 per memory
 	// reference), the numerator of the performance metric.
@@ -47,19 +49,33 @@ type Snapshot struct {
 }
 
 // Pool owns all processors of a system.
+//
+// Sharded systems (PartitionOnShards) run each core on its shard's
+// kernel; everything cross-core — the outstanding-transaction limit's
+// token queue, pause/resume, snapshot/restore — then happens only at
+// window edges, from single-threaded control context, so cores never
+// read another shard's in-flight state mid-window. Per-shard counters
+// (inflight, limitStalls, waiting) keep the hot path race-free and the
+// merged totals shard-count-independent.
 type Pool struct {
-	k      *sim.Kernel
+	k      *sim.Kernel // shard 0's kernel (the only kernel when serial)
 	access AccessFunc
 	procs  []*Processor
 
-	limit    int // 0 = unlimited (slow-start sets 1, then restores)
-	inflight int
-	waiting  []*Processor
+	sharded bool
+
+	limit    int   // 0 = unlimited (slow-start sets 1, then restores)
+	inflight []int // per shard
+	// waiting holds cores stalled on the limit: one FIFO in serial mode
+	// (grants follow arrival order), one queue per shard in sharded
+	// mode (grants happen at window edges in node order — arrival order
+	// across shards is not defined).
+	waiting [][]*Processor
 
 	paused   bool
 	resumeAt sim.Time
 
-	limitStalls stats.Counter
+	limitStalls []stats.Counter // per shard
 }
 
 // NewPool builds n processors driven by per-node generators.
@@ -68,12 +84,33 @@ func NewPool(k *sim.Kernel, n int, access AccessFunc, gens []workload.Generator)
 		panic("processor: generator count mismatch")
 	}
 	p := &Pool{k: k, access: access}
+	p.inflight = make([]int, 1)
+	p.waiting = make([][]*Processor, 1)
+	p.limitStalls = make([]stats.Counter, 1)
 	for i := 0; i < n; i++ {
-		c := &Processor{pool: p, node: coherence.NodeID(i), gen: gens[i]}
+		c := &Processor{pool: p, node: coherence.NodeID(i), k: k, gen: gens[i]}
 		c.doneFn = c.complete
 		p.procs = append(p.procs, c)
 	}
 	return p
+}
+
+// PartitionOnShards re-homes each core onto its shard's kernel. Call
+// once before Start. Grants of limit tokens then move to GrantWaiting,
+// which the system must invoke at every window edge.
+func (p *Pool) PartitionOnShards(g *sim.Shards, shardOf []int) {
+	if len(shardOf) != len(p.procs) {
+		panic("processor: shard map size mismatch")
+	}
+	p.sharded = true
+	p.k = g.Kernel(0)
+	p.inflight = make([]int, g.N())
+	p.waiting = make([][]*Processor, g.N())
+	p.limitStalls = make([]stats.Counter, g.N())
+	for i, c := range p.procs {
+		c.shard = shardOf[i]
+		c.k = g.Kernel(c.shard)
+	}
 }
 
 // Start begins execution on every core.
@@ -95,15 +132,26 @@ func (p *Pool) Instructions() uint64 {
 // NodeInstructions returns one core's retired instruction count.
 func (p *Pool) NodeInstructions(i int) uint64 { return p.procs[i].instret }
 
-// Outstanding returns the number of in-flight memory transactions.
-func (p *Pool) Outstanding() int { return p.inflight }
+// Outstanding returns the number of in-flight memory transactions
+// (quiesced-state only in sharded mode).
+func (p *Pool) Outstanding() int {
+	total := 0
+	for _, n := range p.inflight {
+		total += n
+	}
+	return total
+}
 
 // SetOutstandingLimit implements core.OutstandingLimiter: it bounds
 // concurrently outstanding coherence transactions across the machine
-// (slow-start uses 1; 0 removes the bound).
+// (slow-start uses 1; 0 removes the bound). Sharded systems call it
+// only from edge control; held cores are then granted by GrantWaiting
+// at the same edge.
 func (p *Pool) SetOutstandingLimit(n int) {
 	p.limit = n
-	p.drainWaiting()
+	if !p.sharded {
+		p.drainWaiting()
+	}
 }
 
 // Pause stops cores from issuing new accesses (checkpoint drain).
@@ -123,7 +171,9 @@ func (p *Pool) Resume(at sim.Time) {
 			c.scheduleStep(d)
 		}
 	}
-	p.drainWaiting()
+	if !p.sharded {
+		p.drainWaiting()
+	}
 }
 
 // SnapshotAll captures every core's architectural state. Cores must be
@@ -139,8 +189,10 @@ func (p *Pool) SnapshotAll() []Snapshot {
 // RestoreAll rewinds every core to a snapshot and invalidates all
 // scheduled work. The caller resumes execution via Resume.
 func (p *Pool) RestoreAll(snaps []Snapshot) {
-	p.inflight = 0
-	p.waiting = nil
+	for s := range p.inflight {
+		p.inflight[s] = 0
+		p.waiting[s] = nil
+	}
 	for i, c := range p.procs {
 		c.gen.Restore(snaps[i].Gen)
 		c.instret = snaps[i].Instret
@@ -152,14 +204,56 @@ func (p *Pool) RestoreAll(snaps []Snapshot) {
 
 // LimitStalls returns how many issue attempts were deferred by the
 // outstanding limit (slow-start's visible cost).
-func (p *Pool) LimitStalls() uint64 { return p.limitStalls.Value() }
+func (p *Pool) LimitStalls() uint64 {
+	var total uint64
+	for i := range p.limitStalls {
+		total += p.limitStalls[i].Value()
+	}
+	return total
+}
 
+// drainWaiting grants limit tokens in arrival order (serial mode only).
 func (p *Pool) drainWaiting() {
-	for len(p.waiting) > 0 && (p.limit == 0 || p.inflight < p.limit) && !p.paused {
-		c := p.waiting[0]
-		p.waiting = p.waiting[1:]
+	for len(p.waiting[0]) > 0 && (p.limit == 0 || p.inflight[0] < p.limit) && !p.paused {
+		c := p.waiting[0][0]
+		p.waiting[0] = p.waiting[0][1:]
 		c.holding = false
 		c.issue()
+	}
+}
+
+// GrantWaiting issues cores held by the outstanding limit, in node-id
+// order, until the limit is reached. Sharded systems call it at every
+// window edge from control context (all shards quiesced): cores park
+// unconditionally while a limit is active and receive their tokens
+// here, which keeps grant order independent of how execution was
+// partitioned. A no-op in serial mode, where drainWaiting grants
+// immediately instead.
+func (p *Pool) GrantWaiting() {
+	if !p.sharded || p.paused {
+		return
+	}
+	total := p.Outstanding()
+	for {
+		if p.limit != 0 && total >= p.limit {
+			return
+		}
+		bestShard, bestIdx := -1, -1
+		for s := range p.waiting {
+			for i, c := range p.waiting[s] {
+				if bestShard < 0 || c.node < p.waiting[bestShard][bestIdx].node {
+					bestShard, bestIdx = s, i
+				}
+			}
+		}
+		if bestShard < 0 {
+			return
+		}
+		c := p.waiting[bestShard][bestIdx]
+		p.waiting[bestShard] = append(p.waiting[bestShard][:bestIdx], p.waiting[bestShard][bestIdx+1:]...)
+		c.holding = false
+		c.issue()
+		total++
 	}
 }
 
@@ -197,30 +291,47 @@ func (c *Processor) complete() {
 	p := c.pool
 	op := c.gen.Peek()
 	c.pending = false
-	p.inflight--
+	p.inflight[c.shard]--
 	c.instret += uint64(op.Think) + 1
 	c.gen.Advance()
-	p.drainWaiting()
+	if !p.sharded {
+		// Sharded mode defers grants to the window edge: a completion
+		// here must not read other shards' in-flight counts.
+		p.drainWaiting()
+	}
 	c.scheduleStep(0)
 }
 
 func (c *Processor) scheduleStep(d sim.Time) {
-	c.pool.k.AfterEvent(d, c, c.epoch<<1|procOpStep, 0, nil)
+	c.k.AfterEvent(d, c, c.epoch<<1|procOpStep, 0, nil)
 }
 
 // step retires the current op's think time, then issues its memory
 // reference (subject to pause and the outstanding limit).
 func (c *Processor) step() {
 	p := c.pool
-	if p.paused || p.k.Now() < p.resumeAt {
+	if p.paused || c.k.Now() < p.resumeAt {
 		// Parked: Resume reschedules us.
 		return
 	}
-	if p.limit != 0 && p.inflight >= p.limit {
-		c.holding = true
-		p.waiting = append(p.waiting, c)
-		p.limitStalls.Inc()
-		return
+	if p.limit != 0 {
+		if p.sharded {
+			// The limit is global but this core sees only its shard's
+			// count mid-window: park unconditionally and take a token
+			// at the next edge (GrantWaiting, in node order). The limit
+			// is a post-recovery slow-start measure, so the extra
+			// sub-window wait is rare and bounded by the lookahead.
+			c.holding = true
+			p.waiting[c.shard] = append(p.waiting[c.shard], c)
+			p.limitStalls[c.shard].Inc()
+			return
+		}
+		if p.inflight[0] >= p.limit {
+			c.holding = true
+			p.waiting[0] = append(p.waiting[0], c)
+			p.limitStalls[0].Inc()
+			return
+		}
 	}
 	c.issue()
 }
@@ -228,7 +339,7 @@ func (c *Processor) step() {
 func (c *Processor) issue() {
 	p := c.pool
 	op := c.gen.Peek()
-	p.inflight++
+	p.inflight[c.shard]++
 	c.pending = true
-	p.k.AfterEvent(op.Think, c, c.epoch<<1|procOpIssue, 0, nil)
+	c.k.AfterEvent(op.Think, c, c.epoch<<1|procOpIssue, 0, nil)
 }

@@ -92,10 +92,14 @@ type Manager struct {
 	logs  [][]entry
 	seen  []map[uint64]uint64 // key -> epoch of last log, per node
 
-	recoveries    stats.Counter
-	checkpoints   stats.Counter
-	entriesLogged stats.Counter
-	overflows     stats.Counter
+	recoveries  stats.Counter
+	checkpoints stats.Counter
+	// entriesLogged and overflows are per node: logging happens on the
+	// hot path from whichever shard owns the node, so the counters must
+	// be single-writer (and per-node sums merge identically at any
+	// shard count).
+	entriesLogged []uint64
+	overflows     []uint64
 	rollbackLoss  stats.Sample // cycles of lost work per recovery
 	occupancyHW   []int        // per-node high-water mark, entries
 }
@@ -116,6 +120,8 @@ func NewManager(k *sim.Kernel, cfg Config) *Manager {
 		m.seen[i] = make(map[uint64]uint64)
 	}
 	m.occupancyHW = make([]int, cfg.Nodes)
+	m.entriesLogged = make([]uint64, cfg.Nodes)
+	m.overflows = make([]uint64, cfg.Nodes)
 	return m
 }
 
@@ -180,11 +186,11 @@ func (m *Manager) LogOldValue(node int, key uint64, undo func()) {
 	}
 	m.seen[node][key] = m.epoch
 	m.logs[node] = append(m.logs[node], entry{epoch: m.epoch, undo: undo})
-	m.entriesLogged.Inc()
+	m.entriesLogged[node]++
 	if n := len(m.logs[node]); n > m.occupancyHW[node] {
 		m.occupancyHW[node] = n
 		if n*m.cfg.EntryBytes > m.cfg.LogBytes {
-			m.overflows.Inc()
+			m.overflows[node]++
 		}
 	}
 }
@@ -256,11 +262,23 @@ func (m *Manager) Recoveries() uint64 { return m.recoveries.Value() }
 func (m *Manager) Checkpoints() uint64 { return m.checkpoints.Value() }
 
 // EntriesLogged returns the total number of log writes.
-func (m *Manager) EntriesLogged() uint64 { return m.entriesLogged.Value() }
+func (m *Manager) EntriesLogged() uint64 {
+	var total uint64
+	for _, n := range m.entriesLogged {
+		total += n
+	}
+	return total
+}
 
 // Overflows returns how many log appends exceeded the configured
 // LogBytes capacity (counted, not stalled; see package comment).
-func (m *Manager) Overflows() uint64 { return m.overflows.Value() }
+func (m *Manager) Overflows() uint64 {
+	var total uint64
+	for _, n := range m.overflows {
+		total += n
+	}
+	return total
+}
 
 // OccupancyHighWaterBytes returns the largest log footprint node i
 // reached.
@@ -274,5 +292,5 @@ func (m *Manager) MeanRollbackLoss() float64 { return m.rollbackLoss.Mean() }
 // String summarizes the manager state for logs.
 func (m *Manager) String() string {
 	return fmt.Sprintf("safetynet{epoch=%d ckpts=%d recoveries=%d logged=%d}",
-		m.epoch, len(m.ckpts), m.recoveries.Value(), m.entriesLogged.Value())
+		m.epoch, len(m.ckpts), m.recoveries.Value(), m.EntriesLogged())
 }

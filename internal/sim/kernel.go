@@ -24,7 +24,10 @@
 // message arrival, protocol sends) schedule without allocating.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Time is simulated time in processor clock cycles.
 type Time uint64
@@ -87,6 +90,13 @@ type Kernel struct {
 	wheelCount int // undispatched events in the wheel
 	cellPos    int // dispatch cursor within the bucket at now
 
+	// occ is the wheel's bucket-occupancy bitmap (one bit per bucket):
+	// advancing time jumps straight to the next set bit instead of
+	// probing every cycle's bucket, so sparse schedules — a sharded
+	// kernel owns only a slice of the machine's events — pay for the
+	// events they have, not the cycles they span.
+	occ [wheelSize / 64]uint64
+
 	far    []farEvent // min-heap of events at or beyond now+wheelSize
 	farSeq uint64
 }
@@ -125,16 +135,53 @@ func (k *Kernel) schedule(t Time, ev event) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
 	}
 	if t-k.now < wheelSize {
-		if k.wheel == nil {
-			k.wheel = make([][]event, wheelSize)
-		}
-		i := t & wheelMask
-		k.wheel[i] = append(k.wheel[i], ev)
-		k.wheelCount++
+		k.wheelPut(t, ev)
 		return
 	}
 	k.farPush(farEvent{when: t, seq: k.farSeq, ev: ev})
 	k.farSeq++
+}
+
+// wheelPut appends ev to the bucket for time t (which must be within
+// the horizon), maintaining the occupancy bitmap.
+func (k *Kernel) wheelPut(t Time, ev event) {
+	if k.wheel == nil {
+		k.wheel = make([][]event, wheelSize)
+	}
+	i := t & wheelMask
+	k.wheel[i] = append(k.wheel[i], ev)
+	k.occ[i>>6] |= 1 << (i & 63)
+	k.wheelCount++
+}
+
+// recycleCell clears bucket i's storage and occupancy bit.
+func (k *Kernel) recycleCell(i Time) {
+	cell := k.wheel[i]
+	clear(cell)
+	k.wheel[i] = cell[:0]
+	k.occ[i>>6] &^= 1 << (i & 63)
+}
+
+// nextOccupied returns the smallest time strictly after t whose wheel
+// bucket holds events. It must only be called while such a bucket
+// exists (wheelCount > 0 with the bucket at t exhausted and recycled).
+func (k *Kernel) nextOccupied(t Time) Time {
+	cur := int(t & wheelMask)
+	// First partial word: bits strictly above cur within its word.
+	w := cur >> 6
+	if rest := k.occ[w] &^ (uint64(1)<<uint((cur&63)+1) - 1); rest != 0 {
+		return t + Time(w<<6+bits.TrailingZeros64(rest)-cur)
+	}
+	// Remaining words in circular order; the last step wraps back to
+	// w's low bits (times past the wheel's wrap point).
+	for step := 1; step <= len(k.occ); step++ {
+		i := (w + step) & (len(k.occ) - 1)
+		if k.occ[i] != 0 {
+			dist := (i<<6 + bits.TrailingZeros64(k.occ[i]) - cur + wheelSize) & wheelMask
+			return t + Time(dist)
+		}
+	}
+	panic("sim: nextOccupied called on an empty wheel")
 }
 
 // migrate moves far-future events whose time has come within the wheel
@@ -144,12 +191,7 @@ func (k *Kernel) migrate() {
 	horizon := k.now + wheelSize
 	for len(k.far) > 0 && k.far[0].when < horizon {
 		fe := k.farPop()
-		if k.wheel == nil {
-			k.wheel = make([][]event, wheelSize)
-		}
-		i := fe.when & wheelMask
-		k.wheel[i] = append(k.wheel[i], fe.ev)
-		k.wheelCount++
+		k.wheelPut(fe.when, fe.ev)
 	}
 }
 
@@ -170,14 +212,25 @@ func (k *Kernel) advance(limit Time, bounded bool) bool {
 			if len(cell) > 0 {
 				// Bucket exhausted: drop event references for GC and
 				// recycle the storage for a future cycle.
-				clear(cell)
-				k.wheel[k.now&wheelMask] = cell[:0]
+				k.recycleCell(k.now & wheelMask)
 			}
 			k.cellPos = 0
 			if bounded && k.now >= limit {
 				return false
 			}
-			k.now++
+			// Jump to the next occupied bucket (wheelCount > 0 with the
+			// current bucket recycled guarantees one exists). Far
+			// events newly inside the horizon migrate after the jump;
+			// they are all later than the jump target, since the skipped
+			// cycles' buckets were empty and migration had already run
+			// for every earlier horizon.
+			next := k.nextOccupied(k.now)
+			if bounded && next > limit {
+				k.now = limit
+				k.migrate()
+				return false
+			}
+			k.now = next
 			k.migrate()
 			continue
 		}
@@ -185,8 +238,7 @@ func (k *Kernel) advance(limit Time, bounded bool) bool {
 		if cp := k.currentCell(); cp != nil && len(*cp) > 0 {
 			// All events in the current bucket were dispatched but the
 			// bucket was not yet recycled (wheelCount hit zero mid-cell).
-			clear(*cp)
-			*cp = (*cp)[:0]
+			k.recycleCell(k.now & wheelMask)
 			k.cellPos = 0
 		}
 		if len(k.far) == 0 {
@@ -253,6 +305,33 @@ func (k *Kernel) Run(until Time) uint64 {
 		k.now = until
 	}
 	return k.Executed - start
+}
+
+// RunWindow fires every event scheduled strictly before end and leaves
+// now == end exactly, so the next schedule or dispatch happens "at" the
+// window edge. It is the building block of conservative-window parallel
+// execution (see Shards): a shard executes [now, end) and then all
+// shards synchronize at end. It returns the number of events executed.
+func (k *Kernel) RunWindow(end Time) uint64 {
+	if end < k.now {
+		panic(fmt.Sprintf("sim: window end %d before now %d", end, k.now))
+	}
+	if end == k.now {
+		return 0
+	}
+	n := k.Run(end - 1)
+	// Run left now == end-1 with that bucket fully dispatched but
+	// possibly not yet recycled; recycle it before jumping so the slot
+	// is clean when time wraps around the wheel.
+	if cp := k.currentCell(); cp != nil && len(*cp) > 0 {
+		k.recycleCell(k.now & wheelMask)
+	}
+	k.cellPos = 0
+	k.now = end
+	// Far events newly inside the horizon must migrate now, so that
+	// later schedules at the same timestamp append behind them.
+	k.migrate()
+	return n
 }
 
 // Drain fires all remaining events regardless of time. Useful in tests

@@ -96,17 +96,86 @@ func (s *Sample) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.StdDev(), s.n)
 }
 
+// IntSample accumulates integer observations with exact integer sums.
+// Unlike Sample's Welford accumulator, its state is order-independent:
+// merging per-shard IntSamples yields bit-identical results no matter
+// how observations were partitioned, which is what keeps sharded
+// simulations byte-reproducible at any shard count.
+type IntSample struct {
+	n, sum   uint64
+	min, max uint64
+}
+
+// Observe records one observation.
+func (s *IntSample) Observe(v uint64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+}
+
+// Merge folds another IntSample into s. Because all state is exact,
+// merge order does not affect the result.
+func (s *IntSample) Merge(o IntSample) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+}
+
+// N returns the number of observations.
+func (s *IntSample) N() uint64 { return s.n }
+
+// Sum returns the exact total of all observations.
+func (s *IntSample) Sum() uint64 { return s.sum }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (s *IntSample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.n)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *IntSample) Min() uint64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *IntSample) Max() uint64 { return s.max }
+
 // Histogram counts observations in power-of-two buckets, suitable for
-// latency distributions spanning several orders of magnitude.
+// latency distributions spanning several orders of magnitude. Its
+// moments come from an exact IntSample, so histograms merge without
+// order sensitivity (see Merge).
 type Histogram struct {
 	buckets [64]uint64
-	sample  Sample
+	sample  IntSample
 }
 
 // Observe records a non-negative observation.
 func (h *Histogram) Observe(v uint64) {
-	h.sample.Observe(float64(v))
+	h.sample.Observe(v)
 	h.buckets[log2Bucket(v)]++
+}
+
+// Merge folds another histogram into h; all state is exact counts and
+// sums, so the result is independent of how observations were split.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.sample.Merge(o.sample)
 }
 
 func log2Bucket(v uint64) int {
@@ -128,7 +197,7 @@ func (h *Histogram) N() uint64 { return h.sample.N() }
 func (h *Histogram) Mean() float64 { return h.sample.Mean() }
 
 // Max returns the largest observation.
-func (h *Histogram) Max() float64 { return h.sample.Max() }
+func (h *Histogram) Max() float64 { return float64(h.sample.Max()) }
 
 // Percentile returns an upper bound on the p-th percentile (p in [0,1]),
 // at power-of-two bucket resolution.
@@ -176,6 +245,11 @@ func (u *Utilization) SetBusy(now uint64, busy bool) {
 // AddBusy directly credits d cycles of busy time (for resources modeled
 // as reservation windows rather than level signals).
 func (u *Utilization) AddBusy(d uint64) { u.busyTime += d }
+
+// Merge folds another tracker's accumulated busy time into u. Only
+// meaningful for AddBusy-style trackers (reservation windows), which is
+// how per-shard link-utilization stats aggregate.
+func (u *Utilization) Merge(o Utilization) { u.busyTime += o.busyTime }
 
 // Fraction returns the busy fraction over [start, now].
 func (u *Utilization) Fraction(now uint64) float64 {

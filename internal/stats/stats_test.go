@@ -194,3 +194,48 @@ func TestHistogramMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestIntSampleMergeOrderIndependent pins the property sharded stats
+// aggregation relies on: any partition of an observation stream merges
+// to bit-identical state.
+func TestIntSampleMergeOrderIndependent(t *testing.T) {
+	vals := []uint64{5, 0, 17, 3, 3, 99, 42, 7, 1, 64}
+	var whole IntSample
+	for _, v := range vals {
+		whole.Observe(v)
+	}
+	for split := 1; split < len(vals); split++ {
+		var a, b, merged IntSample
+		for _, v := range vals[:split] {
+			a.Observe(v)
+		}
+		for _, v := range vals[split:] {
+			b.Observe(v)
+		}
+		merged.Merge(b)
+		merged.Merge(a)
+		if merged != whole {
+			t.Fatalf("split %d: merged %+v != whole %+v", split, merged, whole)
+		}
+	}
+	if whole.Mean() != 24.1 || whole.Min() != 0 || whole.Max() != 99 || whole.N() != 10 {
+		t.Fatalf("unexpected moments: %+v", whole)
+	}
+}
+
+// TestHistogramMerge checks bucket counts and moments merge exactly.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := uint64(0); i < 100; i++ {
+		whole.Observe(i * i)
+		if i%3 == 0 {
+			a.Observe(i * i)
+		} else {
+			b.Observe(i * i)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatalf("merged histogram differs from whole")
+	}
+}

@@ -1,0 +1,273 @@
+// Conservative-window parallel intra-run simulation (Config.Shards).
+//
+// The torus splits into equal column strips; each strip owns its nodes'
+// processors, caches, cache/directory controllers and switch column,
+// all scheduled on the strip's own calendar-queue kernel. Strips
+// advance in lockstep lookahead windows of the network's minimum hop
+// latency (sim.Shards); switch-to-switch message arrivals — the only
+// cross-strip interaction the model has — travel through the group's
+// FIFO boundary queues.
+//
+// Everything global runs at window edges, single-threaded, with every
+// kernel quiesced at the same instant:
+//
+//   - checkpoint orchestration (pause, drain-poll, take, resume);
+//   - recoveries: a mis-speculation detected mid-window is deferred to
+//     the next edge (at most one window of extra detection latency —
+//     the whole window's state is discarded by the rollback anyway);
+//   - the transaction-timeout watchdog (a scan of every node's TBEs);
+//   - slow-start token grants and the forward-progress policy timers.
+//
+// Determinism: shard-local execution is sequential; boundary arrivals
+// enter kernels at deterministic edges in deterministic per-link FIFO
+// order (same-shard links included, so bucket positions cannot depend
+// on where the partition boundary falls); global control runs at
+// deterministic edge times; and all statistics are exact integer
+// accumulators striped per shard or per node. Results are therefore
+// bit-identical at every shard count — the equivalence tests and the
+// CI parallel-determinism lane hold the project to it.
+package system
+
+import (
+	"specsimp/internal/coherence"
+	"specsimp/internal/core"
+	"specsimp/internal/directory"
+	"specsimp/internal/network"
+	"specsimp/internal/processor"
+	"specsimp/internal/safetynet"
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// shardRuntime is the per-system state of the sharded execution mode.
+type shardRuntime struct {
+	grp     *sim.Shards
+	shardOf []int
+
+	// Deferred mis-speculations: one slot per shard holding the first
+	// (earliest-by-execution) detection of the current window. The
+	// detecting shard writes its own slot mid-window; the window edge
+	// commits the globally earliest one as the recovery and clears all
+	// (a single rollback disposes of every coalesced detection, exactly
+	// as an immediate recovery would have).
+	pendSet    []bool
+	pendAt     []sim.Time
+	pendNode   []coherence.NodeID
+	pendReason []string
+}
+
+// shardMap assigns node (x, y) of a w-wide torus to column strip
+// x/(w/shards).
+func shardMap(w, h, shards int) []int {
+	cols := w / shards
+	of := make([]int, w*h)
+	for n := range of {
+		of[n] = (n % w) / cols
+	}
+	return of
+}
+
+// buildSharded is BuildChecked's Shards >= 1 path for directory kinds.
+// The machine it assembles is the same as the classic one, re-homed
+// onto per-strip kernels; ValidateConfig has already vetted geometry,
+// kind and network features.
+func buildSharded(cfg Config) (*System, error) {
+	window := cfg.Net.MinHopLatency()
+	grp := sim.NewShards(cfg.Shards, window)
+	shardOf := shardMap(cfg.Net.Width, cfg.Net.Height, cfg.Shards)
+	k0 := grp.Kernel(0)
+
+	net, err := network.NewOnShards(grp, cfg.Net, shardOf)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ReorderInjectProb > 0 {
+		// One RNG stream per node: the classic path shares one stream,
+		// whose draw order would depend on cross-shard execution order.
+		rngs := make([]*sim.RNG, cfg.Nodes)
+		for i := range rngs {
+			rngs[i] = sim.NewRNG(cfg.Seed ^ 0xfa17 ^ uint64(i)*0x9e3779b97f4a7c15)
+		}
+		delay := cfg.ReorderInjectDelay
+		if delay == 0 {
+			delay = 2_000
+		}
+		net.PerturbFn = func(m *network.Message) sim.Time {
+			if m.VNet == coherence.VNetForward && rngs[m.Src].Bool(cfg.ReorderInjectProb) {
+				return delay
+			}
+			return 0
+		}
+	}
+
+	sn := safetynet.DefaultConfig(cfg.Nodes, cfg.CheckpointInterval)
+	mgr := safetynet.NewManager(k0, sn)
+	coord := core.NewCoordinator(k0, mgr)
+
+	sh := &shardRuntime{
+		grp:        grp,
+		shardOf:    shardOf,
+		pendSet:    make([]bool, cfg.Shards),
+		pendAt:     make([]sim.Time, cfg.Shards),
+		pendNode:   make([]coherence.NodeID, cfg.Shards),
+		pendReason: make([]string, cfg.Shards),
+	}
+	s := &System{Cfg: cfg, K: k0, Net: net, Mgr: mgr, Coord: coord, sh: sh}
+
+	dir, err := directory.NewChecked(k0, net, directoryConfigFor(cfg), mgr)
+	if err != nil {
+		return nil, err
+	}
+	dir.PartitionOnShards(grp, shardOf)
+	s.Dir = dir
+	dir.OnMisSpeculationAt = s.deferMisSpeculation
+
+	gens := make([]workload.Generator, cfg.Nodes)
+	for i := range gens {
+		gens[i] = workload.New(cfg.Workload, i, cfg.Nodes, cfg.Seed)
+	}
+	s.Pool = processor.NewPool(k0, cfg.Nodes, dir.Access, gens)
+	s.Pool.PartitionOnShards(grp, shardOf)
+
+	coord.ResetFn = func() {
+		net.Reset()
+		dir.ResetTransients()
+	}
+	coord.RestoreFn = func(snapshot interface{}) {
+		s.Pool.RestoreAll(snapshot.([]processor.Snapshot))
+	}
+	coord.ResumeFn = func(at sim.Time) { s.Pool.Resume(at) }
+	if cfg.Net.Routing == network.Adaptive {
+		// The policy's timer must fire at a window edge: toggling
+		// routing policy is visible to every shard.
+		coord.AddPolicy(&core.DisableAdaptiveRouting{K: grp, Net: net, ReenableAfter: cfg.AdaptiveDisableWindow})
+	}
+	ssLimit := cfg.SlowStartLimit
+	if ssLimit <= 0 {
+		ssLimit = 1
+	}
+	coord.AddPolicy(&core.SlowStart{K: grp, Limiter: s.Pool, Limit: ssLimit, Normal: 0, Window: cfg.SlowStartWindow})
+	coord.PolicyExempt = func(reason string) bool { return reason == "injected" }
+
+	grp.PreControl = s.commitDeferredRecoveries
+	grp.PostControl = func(sim.Time) { s.Pool.GrantWaiting() }
+	return s, nil
+}
+
+// deferMisSpeculation records a protocol-detected mis-speculation from
+// mid-window shard context. Only the detecting shard's slot is written,
+// and only the first detection per window is kept (events within a
+// shard execute in time order, so the first is the earliest). The
+// handler that detected it drops its message and execution continues to
+// the edge; the rollback there discards everything the doomed window
+// touched, so the deferral costs at most one window of extra detection
+// latency, identically at every shard count.
+func (s *System) deferMisSpeculation(node coherence.NodeID, reason string) {
+	sh := s.sh
+	shard := sh.shardOf[node]
+	if sh.pendSet[shard] {
+		return
+	}
+	sh.pendSet[shard] = true
+	sh.pendAt[shard] = sh.grp.Kernel(shard).Now()
+	sh.pendNode[shard] = node
+	sh.pendReason[shard] = reason
+}
+
+// commitDeferredRecoveries runs at every window edge (PreControl,
+// before scheduled control actions): it promotes the earliest pending
+// detection — ties broken by node id, so the choice is canonical — to
+// a coordinator recovery and clears the rest, which the single
+// rollback disposes of.
+func (s *System) commitDeferredRecoveries(sim.Time) {
+	sh := s.sh
+	best := -1
+	for i := range sh.pendSet {
+		if !sh.pendSet[i] {
+			continue
+		}
+		if best < 0 || sh.pendAt[i] < sh.pendAt[best] ||
+			(sh.pendAt[i] == sh.pendAt[best] && sh.pendNode[i] < sh.pendNode[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	reason := sh.pendReason[best]
+	for i := range sh.pendSet {
+		sh.pendSet[i] = false
+	}
+	s.Coord.TriggerMisSpeculation(reason)
+}
+
+// startSharded is Start for the sharded path: identical structure to
+// the classic one, with every global cadence — checkpoint attempts,
+// watchdog scans, recovery injection — scheduled as window-edge control
+// instead of kernel events.
+func (s *System) startSharded() {
+	grp := s.sh.grp
+	s.startedAt = grp.Now()
+	s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+	if s.OnCheckpoint != nil {
+		s.OnCheckpoint()
+	}
+	s.Pool.Start()
+
+	grp.After(s.Cfg.CheckpointInterval, s.attemptCheckpointSharded)
+	if s.Cfg.TimeoutCycles > 0 {
+		interval := s.Cfg.CheckpointInterval / 4
+		var tick func()
+		tick = func() {
+			if _, ok := s.Dir.TimeoutScan(); ok {
+				s.Dir.NoteTimeout()
+				s.Coord.TriggerMisSpeculation("deadlock-timeout")
+			}
+			grp.After(interval, tick)
+		}
+		grp.After(interval, tick)
+	}
+	if d := s.Cfg.InjectRecoveryEvery; d > 0 {
+		var inject func()
+		inject = func() {
+			s.Coord.TriggerMisSpeculation("injected")
+			grp.After(d, inject)
+		}
+		grp.After(d, inject)
+	}
+}
+
+// attemptCheckpointSharded mirrors attemptCheckpoint on edge control:
+// pause, poll the drain once per edge (the classic path polls every 20
+// cycles; here the edge cadence is the window), checkpoint, resume.
+func (s *System) attemptCheckpointSharded() {
+	if s.checkpointing {
+		return
+	}
+	s.checkpointing = true
+	s.checkpointGen++
+	grp := s.sh.grp
+	began := grp.Now()
+	var poll func()
+	poll = func() {
+		if s.Coord.InRecovery() {
+			grp.ControlAt(s.Coord.ResumeAt()+1, poll)
+			return
+		}
+		s.Pool.Pause()
+		if s.inFlight() == 0 {
+			s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+			if s.OnCheckpoint != nil {
+				s.OnCheckpoint()
+			}
+			s.checkpointStall.Add(uint64(grp.Now() - began))
+			lat := s.Mgr.Config().RegCkptLatency
+			s.Pool.Resume(grp.Now() + lat)
+			s.checkpointing = false
+			grp.After(s.Cfg.CheckpointInterval, s.attemptCheckpointSharded)
+			return
+		}
+		grp.After(1, poll) // re-check at the next edge
+	}
+	poll()
+}

@@ -1,0 +1,157 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// shardedBase returns a directory system configured to exercise the
+// interesting machinery under sharded execution: perturbed forwards
+// (mis-speculation detections on Spec), periodic injected recoveries,
+// the armed timeout watchdog, checkpoints every few thousand cycles,
+// and small caches for writeback pressure.
+func shardedBase(kind Kind, wl workload.Profile, w, h int) Config {
+	cfg := DefaultConfigSized(kind, wl, w, h)
+	cfg.CheckpointInterval = 2_000
+	cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
+	cfg.SlowStartWindow = 5_000
+	cfg.InjectRecoveryEvery = 17_000
+	cfg.ReorderInjectProb = 0.3
+	cfg.L2Bytes = 8 * 1024
+	cfg.L1Bytes = 2 * 1024
+	return cfg
+}
+
+func runSharded(t *testing.T, cfg Config, shards int, cycles sim.Time) Results {
+	t.Helper()
+	c := cfg
+	c.Shards = shards
+	res, err := RunOneChecked(c, cycles)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return res
+}
+
+// TestShardedResultsBitIdenticalAcrossCounts is the tentpole property:
+// the same run produces deep-equal Results — every counter, histogram-
+// derived float and recovery statistic — at 1, 2 and 4 shards, for both
+// directory variants, with recoveries, checkpoints, slow-start and the
+// watchdog all active.
+func TestShardedResultsBitIdenticalAcrossCounts(t *testing.T) {
+	for _, kind := range []Kind{DirectorySpec, DirectoryFull} {
+		for _, wl := range []workload.Profile{workload.OLTP, workload.Hotspot} {
+			cfg := shardedBase(kind, wl, 4, 4)
+			ref := runSharded(t, cfg, 1, 60_000)
+			if ref.Instructions == 0 {
+				t.Fatalf("%s/%s: no forward progress", kind, wl.Name)
+			}
+			if kind == DirectorySpec && ref.Recoveries == 0 {
+				t.Fatalf("%s/%s: expected recoveries under perturbation; the equivalence run is not exercising the recovery path", kind, wl.Name)
+			}
+			for _, n := range []int{2, 4} {
+				got := runSharded(t, cfg, n, 60_000)
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s/%s: results at %d shards diverged from serial:\nserial: %+v\nshards: %+v", kind, wl.Name, n, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedResultsBitIdentical8x8 extends the equivalence to the
+// 64-node machine that dominates scale64 wall-clock (2 and 4 shards,
+// plus 8 — a full column per shard).
+func TestShardedResultsBitIdentical8x8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8x8 equivalence is slow; covered by the full run and the parallel-determinism CI lane")
+	}
+	cfg := shardedBase(DirectorySpec, workload.OLTP, 8, 8)
+	ref := runSharded(t, cfg, 1, 40_000)
+	for _, n := range []int{2, 4, 8} {
+		if got := runSharded(t, cfg, n, 40_000); !reflect.DeepEqual(got, ref) {
+			t.Errorf("8x8 results at %d shards diverged from serial:\nserial: %+v\nshards: %+v", n, ref, got)
+		}
+	}
+}
+
+// TestShardedRepeatedRunsEquivalent checks chopping Run into uneven
+// chunks — which re-anchors the window edges at every chunk boundary —
+// behaves identically at different shard counts as long as the call
+// pattern matches. (Edge placement is part of the schedule: the
+// guarantee is bit-identical results for identical Run sequences at
+// any shard count, which is exactly what the sweep engine performs.)
+func TestShardedRepeatedRunsEquivalent(t *testing.T) {
+	run := func(shards int) Results {
+		cfg := shardedBase(DirectorySpec, workload.Uniform, 4, 4)
+		cfg.Shards = shards
+		s, err := BuildChecked(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		s.Run(11_000)
+		s.Run(1)
+		return s.Run(18_999)
+	}
+	ref := run(1)
+	for _, n := range []int{2, 4} {
+		if got := run(n); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("chunked runs at %d shards diverged from serial:\nserial: %+v\nshards: %+v", n, ref, got)
+		}
+	}
+}
+
+// TestShardedValidation pins the config errors for illegal sharding
+// requests: non-dividing shard counts, snooping kinds, finite buffers.
+func TestShardedValidation(t *testing.T) {
+	cfg := DefaultConfigSized(DirectorySpec, workload.OLTP, 4, 4)
+	cfg.Shards = 3
+	if err := ValidateConfig(cfg); err == nil {
+		t.Error("3 shards on a 4-wide torus validated; want divisibility error")
+	}
+	cfg.Shards = 8
+	if err := ValidateConfig(cfg); err == nil {
+		t.Error("8 shards on a 4-wide torus validated; want divisibility error")
+	}
+
+	snoop := DefaultConfigSized(SnoopSpec, workload.OLTP, 4, 4)
+	snoop.Shards = 2
+	if err := ValidateConfig(snoop); err == nil {
+		t.Error("2 shards on a snooping system validated; want serial-only error")
+	}
+	snoop.Shards = 1
+	if err := ValidateConfig(snoop); err != nil {
+		t.Errorf("1 shard on a snooping system must mean the classic path, got %v", err)
+	}
+
+	finite := DefaultConfigSized(DirectorySpec, workload.OLTP, 4, 4)
+	finite.Net.BufferSize = 8
+	finite.Shards = 2
+	if err := ValidateConfig(finite); err == nil {
+		t.Error("finite-buffer network validated for sharding; want lookahead error")
+	}
+}
+
+// TestShardedSnoopFallsBackToClassic checks a snooping system with
+// Shards=1 builds and runs on the classic path (byte-equal to Shards=0
+// by construction — it is the same code path).
+func TestShardedSnoopFallsBackToClassic(t *testing.T) {
+	cfg := DefaultConfigSized(SnoopSpec, workload.OLTP, 4, 4)
+	cfg.CheckpointInterval = 2_000
+	ref, err := RunOneChecked(cfg, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 1
+	got, err := RunOneChecked(cfg, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("snoop Shards=1 diverged from Shards=0 (must be the same classic path)")
+	}
+}

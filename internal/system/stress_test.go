@@ -60,6 +60,81 @@ func TestCrossKindInvariantStress(t *testing.T) {
 	}
 }
 
+// TestShardedInvariantStress is the sharded variant of the cross-kind
+// stress: directory systems at 4×4 and 8×8 run under 2 and 4 intra-run
+// shards — fault injection and recovery included — with invariants
+// audited at every checkpoint, and the whole Results struct asserted
+// bit-identical to the 1-shard (serial windowed) run of the same replay
+// seed. A violation or divergence reports the seed to replay.
+func TestShardedInvariantStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress suite skipped in -short mode")
+	}
+	cases := []stressCase{
+		{name: "4x4", width: 4, height: 4, cycles: 120_000},
+		{name: "4x4-inject", width: 4, height: 4, injectEvery: 7_000, cycles: 120_000},
+		{name: "8x8", width: 8, height: 8, cycles: 60_000},
+		{name: "8x8-inject", width: 8, height: 8, injectEvery: 9_000, cycles: 60_000},
+	}
+	for _, sc := range cases {
+		for _, kind := range []Kind{DirectoryFull, DirectorySpec} {
+			sc, kind := sc, kind
+			t.Run(sc.name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				for _, seed := range stressSeeds {
+					ref := runShardedStressCase(t, sc, kind, seed, 1)
+					for _, shards := range []int{2, 4} {
+						got := runShardedStressCase(t, sc, kind, seed, shards)
+						if got != ref {
+							t.Fatalf("results at %d shards diverged from serial (replay: kind=%s geom=%s seed=%#x):\nserial: %s\nshards: %s",
+								shards, kind, sc.name, seed, ref, got)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func runShardedStressCase(t *testing.T, sc stressCase, kind Kind, seed uint64, shards int) string {
+	t.Helper()
+	cfg := DefaultConfigSized(kind, workload.Hotspot, sc.width, sc.height)
+	cfg.Seed = seed
+	cfg.Shards = shards
+	cfg.CheckpointInterval = 2_000
+	cfg.TimeoutCycles = 3 * cfg.CheckpointInterval // watchdog armed at edges
+	cfg.InjectRecoveryEvery = sc.injectEvery
+	cfg.ReorderInjectProb = 0.25
+	cfg.L2Bytes = 8 * 1024
+	cfg.L1Bytes = 2 * 1024
+	replay := fmt.Sprintf("replay: kind=%s geom=%s seed=%#x shards=%d", kind, sc.name, seed, shards)
+	s, err := BuildChecked(cfg)
+	if err != nil {
+		t.Fatalf("build failed (%s): %v", replay, err)
+	}
+	audits := 0
+	s.OnCheckpoint = func() {
+		audits++
+		if err := s.AuditInvariants(); err != nil {
+			t.Fatalf("invariant violation at checkpoint %d (%s): %v", audits, replay, err)
+		}
+	}
+	s.Start()
+	res := s.Run(sc.cycles)
+	if res.Instructions == 0 {
+		t.Fatalf("no forward progress (%s)", replay)
+	}
+	if audits < 5 {
+		t.Fatalf("only %d checkpoints audited — the stress proves nothing (%s)", audits, replay)
+	}
+	if sc.injectEvery > 0 && res.Recoveries == 0 {
+		t.Fatalf("injection produced no recoveries (%s)", replay)
+	}
+	// Rendered for exact comparison across shard counts (fmt prints
+	// every field, maps in sorted key order).
+	return fmt.Sprintf("%+v", res)
+}
+
 func runStressCase(t *testing.T, sc stressCase, kind Kind, wl workload.Profile, seed uint64) {
 	t.Helper()
 	cfg := DefaultConfigSized(kind, wl, sc.width, sc.height)

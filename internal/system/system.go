@@ -64,6 +64,17 @@ type Config struct {
 	Kind  Kind
 	Nodes int
 
+	// Shards selects conservative-window parallel intra-run simulation
+	// for directory kinds: the torus splits into that many column
+	// strips, each running its own event kernel, synchronized every
+	// MinHopLatency cycles (see DESIGN.md "Parallel intra-run DES").
+	// Results are bit-identical at every shard count >= 1, including 1
+	// (the serial execution of the same windowed schedule). 0 — the
+	// default — is the classic single-kernel path. Shards must divide
+	// the torus width; snooping kinds (globally ordered bus) support
+	// only 0 or 1, both meaning the classic path.
+	Shards int
+
 	Net network.Config
 	Bus snoop.BusConfig // snooping address network
 
@@ -182,13 +193,27 @@ type System struct {
 	// checkpoint is taken — a point where the system is quiesced (no
 	// in-flight transactions), which is exactly what invariant audits
 	// require. The cross-protocol stress suite hooks it to call
-	// AuditInvariants at every checkpoint.
+	// AuditInvariants at every checkpoint. In sharded systems it runs
+	// from window-edge control context with every shard quiesced.
 	OnCheckpoint func()
+
+	// sh is the intra-run sharding runtime (nil on the classic serial
+	// path). See shard.go.
+	sh *shardRuntime
 
 	checkpointing   bool
 	checkpointGen   uint64
 	startedAt       sim.Time
 	checkpointStall stats.Counter
+}
+
+// Shards reports the effective intra-run shard count (1 for the
+// classic serial path).
+func (s *System) Shards() int {
+	if s.sh == nil {
+		return 1
+	}
+	return s.sh.grp.N()
 }
 
 // AuditInvariants verifies the active protocol's global coherence
@@ -220,11 +245,35 @@ func ValidateConfig(cfg Config) error {
 	if cfg.Nodes != cfg.Net.NumNodes() {
 		return fmt.Errorf("system: %d nodes vs %d network endpoints", cfg.Nodes, cfg.Net.NumNodes())
 	}
+	if err := validateShards(cfg); err != nil {
+		return err
+	}
 	if cfg.Kind.IsDirectory() {
 		return directoryConfigFor(cfg).Validate()
 	}
 	if cfg.Nodes > MaxSnoopNodes {
 		return fmt.Errorf("system: snooping systems cap at %d nodes (every ordered request reaches every node); %d nodes needs a directory kind", MaxSnoopNodes, cfg.Nodes)
+	}
+	return nil
+}
+
+// validateShards checks the intra-run sharding request (Config.Shards)
+// against the machine: shard count versus torus geometry, protocol
+// kind, and the network features sharding can support.
+func validateShards(cfg Config) error {
+	switch {
+	case cfg.Shards < 0:
+		return fmt.Errorf("system: Shards must be non-negative, got %d", cfg.Shards)
+	case cfg.Shards <= 1 && !cfg.Kind.IsDirectory():
+		return nil // 0 and 1 are the classic serial path for snooping kinds
+	case cfg.Shards == 0:
+		return nil
+	case !cfg.Kind.IsDirectory():
+		return fmt.Errorf("system: %d intra-run shards requested but %s simulates serially: the snooping bus is a single globally ordered resource (use -shards 1, or a directory kind)", cfg.Shards, cfg.Kind)
+	case cfg.Net.Width%cfg.Shards != 0:
+		return fmt.Errorf("system: %d shards do not divide the %dx%d torus into equal column strips (shards must divide the width %d)", cfg.Shards, cfg.Net.Width, cfg.Net.Height, cfg.Net.Width)
+	case cfg.Net.BufferSize != 0 || cfg.Net.EndpointBufferSize != 0:
+		return fmt.Errorf("system: intra-run sharding requires unlimited network buffering (zero-latency credit returns have no conservative lookahead); this network has BufferSize=%d EndpointBufferSize=%d", cfg.Net.BufferSize, cfg.Net.EndpointBufferSize)
 	}
 	return nil
 }
@@ -261,6 +310,12 @@ func Build(cfg Config) *System {
 func BuildChecked(cfg Config) (*System, error) {
 	if err := ValidateConfig(cfg); err != nil {
 		return nil, err
+	}
+	if cfg.Shards >= 1 && cfg.Kind.IsDirectory() {
+		// Conservative-window parallel intra-run path (shard.go). One
+		// shard still uses the windowed engine — that is what makes
+		// results bit-identical across every -shards value.
+		return buildSharded(cfg)
 	}
 	k := sim.NewKernel()
 	net, err := network.NewChecked(k, cfg.Net)
@@ -347,6 +402,10 @@ func BuildChecked(cfg Config) (*System, error) {
 // checkpoint cadence, the watchdog, and (if configured) the recovery
 // injector. Call once.
 func (s *System) Start() {
+	if s.sh != nil {
+		s.startSharded()
+		return
+	}
 	s.startedAt = s.K.Now()
 	s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
 	if s.OnCheckpoint != nil {
@@ -434,6 +493,10 @@ func (s *System) inFlight() int {
 // Run executes the system for the given number of cycles (after Start)
 // and returns the results.
 func (s *System) Run(cycles sim.Time) Results {
+	if s.sh != nil {
+		s.sh.grp.Run(s.sh.grp.Now() + cycles)
+		return s.Results()
+	}
 	s.K.Run(s.K.Now() + cycles)
 	return s.Results()
 }
@@ -478,6 +541,9 @@ func (s *System) Results() Results {
 	now := s.K.Now()
 	elapsed := uint64(now - s.startedAt)
 	instr := s.Pool.Instructions()
+	// One stats snapshot serves every read below: on a sharded network
+	// each Stats() call merges the per-shard counters afresh.
+	netSt := s.Net.Stats()
 	r := Results{
 		Kind:             s.Cfg.Kind,
 		Workload:         s.Cfg.Workload.Name,
@@ -488,9 +554,9 @@ func (s *System) Results() Results {
 		Checkpoints:      s.Mgr.Checkpoints(),
 		CheckpointStall:  s.checkpointStall.Value(),
 		MeanLostWork:     s.Coord.MeanLostWork(),
-		MeanLinkUtil:     s.Net.Stats().MeanLinkUtilization(now),
-		TotalReorderRate: s.Net.Stats().TotalReorderRate(),
-		Deflections:      s.Net.Stats().Deflections.Value(),
+		MeanLinkUtil:     netSt.MeanLinkUtilization(now),
+		TotalReorderRate: netSt.TotalReorderRate(),
+		Deflections:      netSt.Deflections.Value(),
 		LimitStalls:      s.Pool.LimitStalls(),
 	}
 	if elapsed > 0 {
@@ -500,7 +566,7 @@ func (s *System) Results() Results {
 		r.RecoveryReasons[reason] = s.Coord.RecoveriesFor(reason)
 	}
 	for v := 0; v < s.Cfg.Net.VNets; v++ {
-		r.ReorderRatePerVNet = append(r.ReorderRatePerVNet, s.Net.Stats().ReorderRate(v))
+		r.ReorderRatePerVNet = append(r.ReorderRatePerVNet, netSt.ReorderRate(v))
 	}
 	for i := 0; i < s.Cfg.Nodes; i++ {
 		if hw := s.Mgr.OccupancyHighWaterBytes(i); hw > r.LogHighWaterBytes {
