@@ -1,0 +1,210 @@
+// Command detlint enforces the repository's determinism and allocation
+// contracts (internal/lint: walltime, maporder, floatdet, poolalloc,
+// edgecontrol) over Go packages. It runs two ways:
+//
+//	detlint ./...                          # standalone, exit 1 on findings
+//	go vet -vettool=$(which detlint) ./... # as a vet tool
+//
+// Standalone mode loads packages through `go list`, prints findings to
+// stderr as "pos: [analyzer] message", and prints a suppression summary
+// table (every matched //detlint:allow with its reason, plus
+// per-analyzer counts) to stdout. Unused allows are warnings, not
+// failures. Vet-tool mode speaks the go command's unitchecker protocol:
+// it answers -V=full and -flags probes, then processes one vet.cfg per
+// package, type-checking against the export data the go command already
+// built. Test files are exempt in both modes — the contracts govern the
+// simulator and its artifact paths, not test scaffolding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"specsimp/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes vet tools before use: -V=full for a tool
+	// identity it can cache on, -flags for the flag set it may forward.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The exact shape matters: the go command parses
+			// "<name> version devel ... buildID=<id>" and caches on the id.
+			fmt.Printf("%s version devel buildID=detlint1\n", filepath.Base(os.Args[0]))
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("detlint", flag.ExitOnError)
+	summary := fs.Bool("summary", true, "print the suppression summary table")
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	rep := lint.Lint(pkgs, lint.All())
+	reportFindings(rep)
+	if *summary {
+		printSummary(os.Stdout, len(pkgs), rep)
+	}
+	if !rep.Ok() {
+		return 1
+	}
+	return 0
+}
+
+func reportFindings(rep *lint.Report) {
+	for _, f := range rep.Findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	for _, s := range rep.Unused {
+		fmt.Fprintf(os.Stderr, "%s: warning: detlint:allow %s matched no diagnostic; remove it\n",
+			s.Pos, s.Analyzer)
+	}
+}
+
+// printSummary writes the suppression accounting: one line per matched
+// allow (so every waived contract is visible in CI logs with its
+// justification), then per-analyzer totals.
+func printSummary(w io.Writer, npkgs int, rep *lint.Report) {
+	fmt.Fprintf(w, "detlint: %d package(s), %d finding(s), %d suppression(s), %d unused allow(s)\n",
+		npkgs, len(rep.Findings), len(rep.Suppressed), len(rep.Unused))
+	if len(rep.Suppressed) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "suppressions:")
+	counts := map[string]int{}
+	matched := map[string]int{}
+	var order []string
+	for _, s := range rep.Suppressed {
+		if counts[s.Analyzer] == 0 {
+			order = append(order, s.Analyzer)
+		}
+		counts[s.Analyzer]++
+		matched[s.Analyzer] += s.Matched
+		fmt.Fprintf(w, "  %s: %s (%dx): %s\n", s.Pos, s.Analyzer, s.Matched, s.Reason)
+	}
+	fmt.Fprintf(w, "%-14s %7s %10s\n", "analyzer", "allows", "suppressed")
+	for _, name := range order {
+		fmt.Fprintf(w, "%-14s %7d %10d\n", name, counts[name], matched[name])
+	}
+}
+
+// vetConfig is the subset of the go command's vet.cfg the driver
+// consumes (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single package described by a vet.cfg file. Exit
+// codes follow the unitchecker convention: 0 clean, 1 tool failure,
+// 2 diagnostics reported.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// detlint exports no facts, but the go command expects the vetx
+	// output to exist so it can cache the (empty) result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test scaffolding is exempt (mirrors lint.Load): skip the
+	// synthesized test-main package and drop _test.go files from the
+	// in-package test variant, which leaves exactly the plain package.
+	if strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	pkg, err := lint.Check(fset, importer.ForCompiler(fset, compiler, lookup),
+		cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		// Export data can be stale or absent outside a full `go vet`
+		// build; fall back to type-checking the import graph from
+		// source before giving up.
+		fset = token.NewFileSet()
+		pkg, err = lint.Check(fset, importer.ForCompiler(fset, "source", nil),
+			cfg.ImportPath, cfg.Dir, files)
+	}
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	rep := lint.Lint([]*lint.Package{pkg}, lint.All())
+	reportFindings(rep)
+	if !rep.Ok() {
+		return 2
+	}
+	return 0
+}

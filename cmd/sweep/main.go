@@ -20,6 +20,7 @@
 //
 //	sweep -exp all -parallel 4 -out /tmp/run1   # bounded pool, persisted CSV+JSON
 //	sweep -exp all -out auto                    # timestamped dir under sweep-runs/
+//	sweep -exp all -out auto -run-id nightly1   # named dir, reproducible manifest
 //	sweep -exp fig4 -json                       # JSON summaries on stdout
 //
 // Two orthogonal parallelism axes: -parallel bounds how many design
@@ -33,211 +34,28 @@
 // With -out, every run lands as one CSV row (<experiment>.csv), every
 // experiment writes a JSON summary (<experiment>.json), and the run is
 // described by manifest.json. Identical invocations reproduce the CSVs
-// and summaries byte for byte; only the manifest carries wall-clock
-// state.
+// and summaries byte for byte; with -run-id the manifest is
+// byte-reproducible too (the run id replaces the wall-clock start
+// time), so the entire artifact tree can be diffed across machines and
+// reruns. The body lives in internal/sweepcli so tests can drive full
+// invocations in-process.
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"strings"
-	"time"
 
-	"specsimp"
-	"specsimp/internal/experiments"
-	"specsimp/internal/runner"
-	"specsimp/internal/sim"
-	"specsimp/internal/workload"
+	"specsimp/internal/sweepcli"
 )
 
 func main() {
-	startedAt := time.Now().UTC()
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	var (
-		exp      = flag.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, all")
-		quick    = flag.Bool("quick", false, "bench-sized parameters (faster, noisier)")
-		wlName   = flag.String("workload", "oltp", "workload for reorder/buffers/ablations")
-		parallel = flag.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
-		shards   = flag.Int("shards", 1, "INTRA-run parallelism for shard-capable design points (the scale64 directory machines): each single run partitions its torus into N column-strip shards advancing in conservative lockstep windows. Results and artifacts are byte-identical for every value; per point the count is clamped to the largest divisor of the torus width, and snooping points always simulate serially (ordered bus). Must be >= 1.")
-		out      = flag.String("out", "", "artifact directory for CSV+JSON results ('auto' = timestamped dir under sweep-runs/, empty = none)")
-		asJSON   = flag.Bool("json", false, "print JSON summaries to stdout instead of tables")
-	)
-	flag.Parse()
-
-	p := specsimp.StandardParams()
-	if *quick {
-		p = specsimp.QuickParams()
-	}
-	if *shards < 1 {
-		log.Fatalf("-shards must be at least 1, got %d (intra-run shard counts partition a single simulation; 1 means serial)", *shards)
-	}
-	p.Shards = *shards
-	wl, ok := specsimp.WorkloadByName(*wlName)
-	if !ok {
-		log.Fatalf("unknown workload %q", *wlName)
-	}
-
-	ex := &runner.Runner{Workers: *parallel}
-	if *out != "" {
-		dir := *out
-		if dir == "auto" {
-			dir = runner.TimestampedDir("sweep-runs")
+	if err := sweepcli.Run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
 		}
-		sink, err := runner.NewSink(dir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ex.Sink = sink
-	}
-	p.Exec = ex
-
-	var ran []string
-	run := func(name, title string, fn func() interface{}) {
-		ran = append(ran, name)
-		start := time.Now()
-		if *asJSON {
-			res := fn()
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]interface{}{"experiment": name, "results": res}); err != nil {
-				log.Fatal(err)
-			}
-			return
-		}
-		fmt.Printf("==== %s ====\n", title)
-		fn()
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
-	}
-
-	all := *exp == "all"
-	if all || *exp == "fig4" {
-		run("fig4", "Figure 4: normalized performance vs mis-speculation rate", func() interface{} {
-			if !*asJSON {
-				fmt.Printf("compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n\n", p.CyclesPerSecond)
-			}
-			res := specsimp.Fig4(p)
-			if !*asJSON {
-				fmt.Println(specsimp.Fig4Table(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "fig5" {
-		run("fig5", "Figure 5: static vs adaptive routing (400 MB/s links)", func() interface{} {
-			res := specsimp.Fig5(p)
-			if !*asJSON {
-				fmt.Println(specsimp.Fig5Table(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "reorder" {
-		run("reorder", "§5.3: message reorder rates vs link bandwidth ("+wl.Name+")", func() interface{} {
-			res := specsimp.ReorderRates(p, wl)
-			if !*asJSON {
-				fmt.Println(specsimp.ReorderTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "snoop" {
-		run("snoop", "§5.3: speculatively simplified snooping protocol", func() interface{} {
-			res := specsimp.SnoopRecoveries(p)
-			if !*asJSON {
-				fmt.Println(specsimp.SnoopTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "buffers" {
-		run("buffers", "§5.3: simplified interconnect buffer sweep ("+wl.Name+")", func() interface{} {
-			res := specsimp.BufferSweep(p, wl)
-			if !*asJSON {
-				fmt.Println(specsimp.BufferTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "scale64" {
-		run("scale64", "Scaling study: 4x4 -> 8x8 -> 16x16, both Spec protocols (directory-only at 256 nodes)", func() interface{} {
-			res := specsimp.ScaleSweep(p)
-			if !*asJSON {
-				fmt.Println(specsimp.ScaleTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "slowstart" {
-		run("slowstart", "Ablation A2: slow-start outstanding limit ("+wl.Name+", 2-entry buffers)", func() interface{} {
-			res := experiments.SlowStartAblation(p, wl, []int{1, 2, 4, 8})
-			if !*asJSON {
-				for _, r := range res {
-					fmt.Printf("  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "deflection" {
-		run("deflection", "Ablation A4: deadlock-recovery vs deflection routing ("+wl.Name+")", func() interface{} {
-			res := experiments.DeflectionAblation(p, wl)
-			if !*asJSON {
-				for _, r := range res {
-					fmt.Printf("  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
-						r.Name, r.Perf, r.Recoveries, r.Deflections)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "reenable" {
-		run("reenable", "Ablation A5: adaptive-routing re-enable window ("+wl.Name+", amplified reordering)", func() interface{} {
-			res := experiments.ReenableAblation(p, wl,
-				[]sim.Time{0, 2 * p.CheckpointInterval, 10 * p.CheckpointInterval, 50 * p.CheckpointInterval})
-			if !*asJSON {
-				for _, r := range res {
-					name := fmt.Sprintf("%d cycles", r.Window)
-					if r.Window == 0 {
-						name = "never (conservative)"
-					}
-					fmt.Printf("  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "checkpoint" {
-		run("checkpoint", "Ablation A3: checkpoint interval vs log occupancy", func() interface{} {
-			res := experiments.CheckpointAblation(p, workload.Uniform,
-				[]sim.Time{2_000, 5_000, 20_000, 50_000})
-			if !*asJSON {
-				for _, r := range res {
-					fmt.Printf("  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
-						r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
-				}
-			}
-			return res
-		})
-	}
-	if len(ran) == 0 {
-		log.Fatalf("unknown experiment %q", *exp)
-	}
-
-	if s := ex.Sink; s != nil {
-		s.WriteJSON("manifest", runner.Manifest{
-			StartedAt:   startedAt,
-			Command:     strings.Join(os.Args, " "),
-			Experiments: ran,
-			Workers:     ex.WorkerBound(),
-			Quick:       *quick,
-		})
-		if err := s.Err(); err != nil {
-			log.Fatalf("artifact write failed: %v", err)
-		}
-		log.Printf("artifacts written to %s", s.Dir())
+		log.Fatal(err)
 	}
 }

@@ -30,7 +30,9 @@ func part1() {
 			if s == d {
 				continue
 			}
-			net.Send(&specsimp.NetMessage{Src: specsimp.NetNodeID(s), Dst: specsimp.NetNodeID(d), VNet: 0, Size: 72})
+			m := net.AllocMessage()
+			m.Src, m.Dst, m.VNet, m.Size = specsimp.NetNodeID(s), specsimp.NetNodeID(d), 0, 72
+			net.Send(m)
 			n++
 		}
 	}

@@ -35,8 +35,13 @@ func run(name string, cfg specsimp.NetConfig, disableAdaptive bool) {
 
 	// Figure 1: the NW switch (node 0) sends M1 then M2 to the SE
 	// switch (node 5). M1 is large and hogs the eastward link.
-	net.Send(&specsimp.NetMessage{Src: 0, Dst: 5, VNet: 1, Size: 2000})
-	k.At(1, func() { net.Send(&specsimp.NetMessage{Src: 0, Dst: 5, VNet: 1, Size: 8}) })
+	send := func(size int) {
+		m := net.AllocMessage()
+		m.Src, m.Dst, m.VNet, m.Size = 0, 5, 1, size
+		net.Send(m)
+	}
+	send(2000)
+	k.At(1, func() { send(8) })
 	k.Drain(1_000_000)
 
 	if len(order) == 2 && order[0] == 1 {

@@ -2,6 +2,7 @@ package directory
 
 import (
 	"fmt"
+	"slices"
 
 	"specsimp/internal/cache"
 	"specsimp/internal/coherence"
@@ -48,8 +49,16 @@ func (p *Protocol) AuditInvariants() error {
 	for a := range copies {
 		addrs[a] = true
 	}
-
+	// Audit in address order so the first violation reported is the
+	// same on every run (map order would make failure messages — and
+	// replay triage — nondeterministic).
+	sorted := make([]coherence.Addr, 0, len(addrs))
 	for a := range addrs {
+		sorted = append(sorted, a)
+	}
+	slices.Sort(sorted)
+
+	for _, a := range sorted {
 		home := p.dirs[p.Home(a)]
 		e := home.entries[a]
 		cs := copies[a]

@@ -316,6 +316,7 @@ func (m *dirModel) Encode(e *explore.Enc) {
 	for _, d := range m.p.dirs {
 		e.U8(0xD0)
 		m.addrbuf = m.addrbuf[:0]
+		//detlint:allow maporder pure filter via sharers.isEmpty(); keys are sorted below before encoding
 		for a, ent := range d.entries {
 			if ent.state == DInv && ent.owner == -1 && ent.sharers.isEmpty() {
 				continue // indistinguishable from an absent entry

@@ -182,9 +182,13 @@ type dKey struct {
 // variant's designated signature, a detected mis-speculation; anything
 // else is a protocol bug. The table is the source of truth for the
 // complexity comparison (DESIGN.md experiment A1).
+//
+//detlint:allow edgecontrol registration table filled once in init, read-only afterwards
 var cacheSpecified = map[Variant]map[cKey]bool{}
 
 // dirSpecified is the directory controller analogue.
+//
+//detlint:allow edgecontrol registration table filled once in init, read-only afterwards
 var dirSpecified = map[Variant]map[dKey]bool{}
 
 func init() {

@@ -346,6 +346,7 @@ func (e *engine) childSleep(f *frame, t Transition) idSet {
 		return nil
 	}
 	var s idSet
+	//detlint:allow maporder commutative set union through the pure Independent predicate
 	for id := range f.sleep {
 		if e.cfg.Independent(e.meta[id], t) {
 			s.add(id)

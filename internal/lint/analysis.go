@@ -1,0 +1,135 @@
+// Package lint turns the repo's hand-maintained determinism and
+// allocation contracts into static analyzers, so a violating change
+// fails `detlint` (and CI) instead of silently breaking the
+// parallel-determinism lane in a way that bisects to nothing. The
+// contracts it enforces are the ones every headline claim rests on:
+// no wall clock or global RNG in simulation code, no unsorted map
+// iteration feeding artifacts, exact integer stats on merge paths,
+// pooled types allocated only through their free lists, and no
+// package-level mutable state in shard-partitioned packages (see
+// DESIGN.md "Determinism contracts").
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// built entirely on the standard library (go/parser, go/types, the
+// source importer): this module vendors no third-party dependencies,
+// so x/tools is not available. If the repo ever grows a vendored
+// x/tools, each analyzer's Run can be lifted verbatim onto the real
+// API.
+//
+// Findings are suppressed, one line at a time, with an explicit
+// annotation carrying a reason:
+//
+//	//detlint:allow <analyzer> <reason...>
+//
+// either trailing the offending line or on its own line directly
+// above it. Suppressions without a reason are themselves findings;
+// every suppression is counted and reported by cmd/detlint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one contract checker. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the identifier used in findings and in
+	// //detlint:allow annotations.
+	Name string
+	// Doc describes the contract the analyzer enforces. The first
+	// line is the one-line summary.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer. It
+// mirrors golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full contract suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Walltime, MapOrder, FloatDet, PoolAlloc, EdgeControl}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// inScope reports whether a package path names one of the packages a
+// contract applies to: scope entries match whole path segments
+// ("network" matches "specsimp/internal/network" and a fixture path
+// "poolalloc/network", never "networkutil").
+func inScope(pkgPath string, scope []string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		for _, s := range scope {
+			if seg == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcFor resolves an expression that should name a function — a bare
+// identifier or the field of a selector — to its types.Func, or nil.
+func funcFor(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// namedType unwraps aliases and returns the named type of t, looking
+// through one level of pointer, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// pkgLastSegment returns the final path segment of a package path
+// ("specsimp/internal/network" -> "network").
+func pkgLastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,113 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specsimp/internal/lint"
+	"specsimp/internal/lint/linttest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestWalltime(t *testing.T) {
+	rep := linttest.Run(t, testdata(t), lint.Walltime, "walltime/sim", "walltime/tools")
+	assertSuppressions(t, rep, 1)
+}
+
+func TestMapOrder(t *testing.T) {
+	rep := linttest.Run(t, testdata(t), lint.MapOrder, "maporder/runner")
+	assertSuppressions(t, rep, 1)
+}
+
+func TestFloatDet(t *testing.T) {
+	rep := linttest.Run(t, testdata(t), lint.FloatDet, "floatdet/stats")
+	assertSuppressions(t, rep, 1)
+}
+
+func TestPoolAlloc(t *testing.T) {
+	rep := linttest.Run(t, testdata(t), lint.PoolAlloc, "poolalloc/network", "poolalloc/use")
+	assertSuppressions(t, rep, 1)
+}
+
+func TestEdgeControl(t *testing.T) {
+	rep := linttest.Run(t, testdata(t), lint.EdgeControl, "edgecontrol/network")
+	assertSuppressions(t, rep, 1)
+}
+
+// assertSuppressions checks that the fixture's allow annotations all
+// matched a real diagnostic (none unused, none stale).
+func assertSuppressions(t *testing.T, rep *lint.Report, n int) {
+	t.Helper()
+	if len(rep.Suppressed) != n {
+		t.Errorf("suppressions = %d, want %d (%v)", len(rep.Suppressed), n, rep.Suppressed)
+	}
+	for _, s := range rep.Suppressed {
+		if s.Matched < 1 || s.Reason == "" {
+			t.Errorf("suppression %v: want >=1 match and a reason", s)
+		}
+	}
+	if len(rep.Unused) != 0 {
+		t.Errorf("unused allows: %v", rep.Unused)
+	}
+}
+
+// TestAllowSyntax pins the malformed-annotation findings: a missing
+// reason and an unknown analyzer name each fail the lint run on their
+// own.
+func TestAllowSyntax(t *testing.T) {
+	pkgs := linttest.Load(t, testdata(t), "allowsyntax")
+	rep := lint.Lint(pkgs, lint.All())
+	var unknown, noReason bool
+	for _, f := range rep.Findings {
+		if f.Analyzer != "allow" {
+			t.Errorf("unexpected finding %v", f)
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "unknown analyzer"):
+			unknown = true
+		case strings.Contains(f.Message, "must carry a reason"):
+			noReason = true
+		default:
+			t.Errorf("unexpected allow finding %q", f.Message)
+		}
+	}
+	if !unknown || !noReason {
+		t.Errorf("want unknown-analyzer and missing-reason findings, got %v", rep.Findings)
+	}
+}
+
+// TestRepoContractsClean runs the full suite over the real module —
+// the acceptance criterion that detlint is clean over ./... with every
+// suppression carrying a reason. It type-checks the whole tree from
+// source, so it is skipped in -short runs.
+func TestRepoContractsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module from source")
+	}
+	pkgs, err := lint.Load("specsimp/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lint.Lint(pkgs, lint.All())
+	for _, f := range rep.Findings {
+		t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+	for _, s := range rep.Suppressed {
+		if s.Reason == "" {
+			t.Errorf("%s: suppression without reason", s.Pos)
+		}
+	}
+	for _, s := range rep.Unused {
+		t.Errorf("%s: unused //detlint:allow %s (%s)", s.Pos, s.Analyzer, s.Reason)
+	}
+}

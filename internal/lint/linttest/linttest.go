@@ -1,0 +1,219 @@
+// Package linttest is an analysistest-style harness for the detlint
+// analyzers, built on the standard library (this module vendors no
+// x/tools). Fixture packages live under a testdata/src root; expected
+// findings are declared in the fixture source with trailing
+//
+//	// want "regexp"
+//
+// comments on the offending line (several per line are allowed).
+// Run loads the fixture packages, applies one analyzer through the
+// full suppression pipeline, and fails the test on any unexpected,
+// missing, or mismatched finding.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"specsimp/internal/lint"
+)
+
+// Run lints the fixture packages at the given import paths (relative
+// to testdata/src) with a single analyzer and checks the findings
+// against // want comments. It returns the report so callers can
+// additionally assert suppression bookkeeping.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, paths ...string) *lint.Report {
+	t.Helper()
+	pkgs := Load(t, testdata, paths...)
+	rep := lint.Lint(pkgs, []*lint.Analyzer{a})
+	checkWants(t, pkgs, rep)
+	return rep
+}
+
+// Load parses and type-checks fixture packages rooted at
+// testdata/src, resolving fixture-to-fixture imports from the same
+// tree and everything else (time, math/rand, ...) from the standard
+// library.
+func Load(t *testing.T, testdata string, paths ...string) []*lint.Package {
+	t.Helper()
+	im := &fixtureImporter{
+		root: filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*types.Package{},
+	}
+	im.std = importer.ForCompiler(im.fset, "source", nil)
+	var pkgs []*lint.Package
+	for _, path := range paths {
+		pkg, err := im.load(path)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+// Import resolves an import path for the type checker: fixture tree
+// first, standard library second.
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	if _, err := os.Stat(filepath.Join(im.root, path)); err == nil {
+		pkg, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+// load parses and checks one fixture package, caching its type
+// information for subsequent imports.
+func (im *fixtureImporter) load(path string) (*lint.Package, error) {
+	dir := filepath.Join(im.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %v", path, err)
+	}
+	im.pkgs[path] = tpkg
+	return &lint.Package{Path: path, Dir: dir, Fset: im.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// checkWants matches the report's findings against // want comments:
+// every want needs a matching finding on its line and every finding
+// needs a matching want.
+func checkWants(t *testing.T, pkgs []*lint.Package, rep *lint.Report) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, pat := range splitQuoted(t, pos, m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+	matched := map[key]int{}
+	for _, fd := range rep.Findings {
+		k := key{fd.Pos.Filename, fd.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(fd.Message) {
+				ok = true
+				matched[k]++
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding [%s] %s", fd.Pos, fd.Analyzer, fd.Message)
+		}
+	}
+	// Report unmatched wants in file/line order (the fixture's own
+	// maporder contract: stable output regardless of map iteration).
+	keys := make([]key, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		if matched[k] < len(wants[k]) {
+			t.Errorf("%s:%d: %d want(s), %d finding(s) matched", k.file, k.line, len(wants[k]), matched[k])
+		}
+	}
+}
+
+// splitQuoted parses the sequence of quoted regexps after a want
+// marker.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: want arguments must be quoted regexps, got %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

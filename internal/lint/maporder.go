@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for ... range m` over a map anywhere in the module
+// unless the loop body is a pure collect: statements that only write
+// into collections or locals and call nothing (other than append,
+// len, cap, and type conversions). Go randomizes map iteration order
+// per process, so a range body that emits bytes, mutates shared
+// structures through calls, or panics makes behavior depend on the
+// iteration order. Pure collect bodies are order-safe at the loop
+// itself — writes keyed by distinct map keys commute — and the
+// obligation to sort moves to wherever the collected slice is
+// consumed:
+//
+//	for a := range c.served {
+//		buf = append(buf, uint64(a))
+//	}
+//	sortU64(buf) // canonical order before use
+//
+// Anything else needs restructuring onto sorted keys, or an explicit
+// //detlint:allow maporder annotation arguing the body is
+// order-insensitive (e.g. a commutative set union through a pure
+// predicate).
+//
+// The contract is deliberately module-wide rather than limited to the
+// artifact sinks: canonical state encoding, invariant audits, and
+// recovery paths all feed either artifacts or replay determinism, and
+// reachability from them spans nearly every package.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: `flags map iteration whose body is not a pure collect
+
+Map iteration order is randomized; a range over a map that feeds CSV
+rows, JSON bytes, table cells, canonical encodings, or stateful calls
+produces different behavior on every run. Collect keys, sort, then
+index.`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isPureCollectBody(pass, rng.Body.List) {
+				return true
+			}
+			pass.Reportf(rng.For,
+				"iteration over map has randomized order and the body is not a pure collect; gather keys and sort first")
+			return true
+		})
+	}
+}
+
+// isPureCollectBody reports whether every statement only moves data
+// into collections or locals without calling anything: assignments
+// and declarations whose expressions are call-free (append, len, cap,
+// and conversions excepted), if/continue/break filters, and nothing
+// else. Such a body cannot emit bytes or mutate shared state through
+// code the analyzer cannot see, and distinct-key writes commute.
+func isPureCollectBody(pass *Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			for _, e := range append(append([]ast.Expr{}, st.Lhs...), st.Rhs...) {
+				if !isCallFree(pass, e) {
+					return false
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return false
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					return false
+				}
+				for _, v := range vs.Values {
+					if !isCallFree(pass, v) {
+						return false
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if st.Init != nil && !isPureCollectBody(pass, []ast.Stmt{st.Init}) {
+				return false
+			}
+			if !isCallFree(pass, st.Cond) {
+				return false
+			}
+			if !isPureCollectBody(pass, st.Body.List) {
+				return false
+			}
+			if st.Else != nil {
+				var els []ast.Stmt
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					els = e.List
+				default:
+					els = []ast.Stmt{e}
+				}
+				if !isPureCollectBody(pass, els) {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			if st.Tok != token.CONTINUE && st.Tok != token.BREAK {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !isCallFree(pass, st.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			// Only effectful call-free expressions reach here:
+			// delete(m, k) / clear(m), both commutative over
+			// distinct keys.
+			if !isCallFree(pass, st.X) {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isCallFree reports whether evaluating e performs no function calls
+// beyond append/len/cap and type conversions.
+func isCallFree(pass *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			switch pass.TypesInfo.Uses[fn].(type) {
+			case *types.Builtin:
+				switch fn.Name {
+				case "append", "len", "cap", "delete", "clear", "min", "max":
+					return true
+				}
+			case *types.TypeName:
+				return true // conversion
+			}
+		case *ast.SelectorExpr:
+			if _, ok := pass.TypesInfo.Uses[fn.Sel].(*types.TypeName); ok {
+				return true // qualified conversion
+			}
+		case *ast.ParenExpr, *ast.ArrayType, *ast.MapType, *ast.StarExpr:
+			return true // conversion to composite/pointer type
+		}
+		pure = false
+		return false
+	})
+	return pure
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllowPrefix is the comment marker that suppresses one finding:
+// //detlint:allow <analyzer> <reason...>
+const AllowPrefix = "//detlint:allow"
+
+// Finding is one contract violation (or one malformed suppression).
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Suppression is one //detlint:allow annotation.
+type Suppression struct {
+	Analyzer string
+	Pos      token.Position // position of the annotation itself
+	Reason   string
+	Matched  int // diagnostics it suppressed
+}
+
+// Report is the outcome of linting a set of packages.
+type Report struct {
+	// Findings are unsuppressed violations, sorted by position; any
+	// entry here should fail CI.
+	Findings []Finding
+	// Suppressed are allow annotations that matched at least one
+	// diagnostic, for the driver's summary table.
+	Suppressed []Suppression
+	// Unused are allow annotations that matched nothing — stale
+	// suppressions worth cleaning up (reported, non-fatal).
+	Unused []Suppression
+}
+
+// Ok reports whether the lint run found no violations.
+func (r *Report) Ok() bool { return len(r.Findings) == 0 }
+
+// allow is one parsed annotation bound to the source line it covers.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	line     int // line whose diagnostics it suppresses
+	matched  int
+}
+
+// Lint runs every analyzer over every package and applies
+// //detlint:allow suppressions. Malformed annotations (missing
+// reason, unknown analyzer name) surface as findings themselves, so a
+// suppression can never silently widen.
+func Lint(pkgs []*Package, analyzers []*Analyzer) *Report {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	rep := &Report{}
+	var allows []*allow
+	for _, pkg := range pkgs {
+		var diags []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				diags = append(diags, Finding{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			a.Run(pass)
+		}
+		pkgAllows := collectAllows(pkg, known, rep)
+		allows = append(allows, pkgAllows...)
+		byLine := map[string][]*allow{}
+		for _, al := range pkgAllows {
+			key := allowKey(al.pos.Filename, al.line, al.analyzer)
+			byLine[key] = append(byLine[key], al)
+		}
+		for _, d := range diags {
+			matched := false
+			for _, al := range byLine[allowKey(d.Pos.Filename, d.Pos.Line, d.Analyzer)] {
+				al.matched++
+				matched = true
+			}
+			if !matched {
+				rep.Findings = append(rep.Findings, d)
+			}
+		}
+	}
+	for _, al := range allows {
+		s := Suppression{Analyzer: al.analyzer, Pos: al.pos, Reason: al.reason, Matched: al.matched}
+		if al.matched > 0 {
+			rep.Suppressed = append(rep.Suppressed, s)
+		} else {
+			rep.Unused = append(rep.Unused, s)
+		}
+	}
+	sortFindings(rep.Findings)
+	sortSuppressions(rep.Suppressed)
+	sortSuppressions(rep.Unused)
+	return rep
+}
+
+func allowKey(file string, line int, analyzer string) string {
+	return file + "\x00" + analyzer + "\x00" + strconv.Itoa(line)
+}
+
+// collectAllows parses every //detlint:allow comment in the package
+// and binds each to the line it covers: its own line when it trails
+// code, otherwise the next code line below it. Malformed annotations
+// become findings on rep.
+func collectAllows(pkg *Package, known map[string]bool, rep *Report) []*allow {
+	var out []*allow
+	for _, f := range pkg.Files {
+		codeLines := codeLineSet(pkg.Fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					rep.Findings = append(rep.Findings, Finding{
+						Analyzer: "allow", Pos: pos,
+						Message: "detlint:allow without an analyzer name",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					rep.Findings = append(rep.Findings, Finding{
+						Analyzer: "allow", Pos: pos,
+						Message: "detlint:allow names unknown analyzer " + strconv.Quote(name),
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					rep.Findings = append(rep.Findings, Finding{
+						Analyzer: "allow", Pos: pos,
+						Message: "detlint:allow " + name + " must carry a reason",
+					})
+					continue
+				}
+				line := pos.Line
+				if !codeLines[line] {
+					// Own-line annotation: cover the next code line.
+					end := pkg.Fset.Position(c.End()).Line
+					line = nextCodeLine(codeLines, end)
+				}
+				out = append(out, &allow{analyzer: name, reason: reason, pos: pos, line: line})
+			}
+		}
+	}
+	return out
+}
+
+// codeLineSet returns the lines on which non-comment syntax starts,
+// so a trailing annotation can be told apart from one on its own
+// line.
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// nextCodeLine returns the first code line strictly after line, or 0.
+func nextCodeLine(codeLines map[int]bool, line int) int {
+	best := 0
+	for l := range codeLines {
+		if l > line && (best == 0 || l < best) {
+			best = l
+		}
+	}
+	return best
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func sortSuppressions(ss []Suppression) {
+	sort.Slice(ss, func(i, j int) bool {
+		a, b := ss[i], ss[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

@@ -1,0 +1,14 @@
+// Package allowsyntax exercises malformed allow annotations; the
+// harness asserts on the report rather than want comments because
+// these findings land on the annotation lines themselves.
+package allowsyntax
+
+// Bogus names an unknown analyzer.
+//
+//detlint:allow nosuchanalyzer some reason
+var bogus = 1
+
+// NoReason omits the mandatory reason.
+//
+//detlint:allow maporder
+var noreason = 2

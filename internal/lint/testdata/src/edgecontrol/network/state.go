@@ -1,0 +1,41 @@
+// Package network is a fixture in the shard-partitioned scope.
+package network
+
+import "errors"
+
+// Shared mutable state of every forbidden kind.
+var (
+	routes  = map[int]int{}    // want "package-level map var"
+	queue   []int              // want "package-level slice var"
+	current *int               // want "package-level pointer var"
+	tick    chan int           // want "package-level chan var"
+	locks   struct{ held int } // want "package-level struct var"
+)
+
+// Tolerated kinds: basics, arrays of basics, error sentinels (an
+// interface value), and consts.
+var (
+	seq      int
+	names    = [2]string{"a", "b"}
+	ErrFault = errors.New("fault")
+)
+
+const width = 4
+
+// Annotated: an init-time-only registration table.
+//
+//detlint:allow edgecontrol fixture: init-time-only lookup table
+var table = map[string]int{}
+
+// Touch keeps the vars referenced.
+func Touch() int {
+	_ = routes
+	_ = queue
+	_ = current
+	_ = tick
+	_ = locks
+	_ = names
+	_ = table
+	_ = ErrFault
+	return seq + width
+}

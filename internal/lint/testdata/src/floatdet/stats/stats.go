@@ -1,0 +1,41 @@
+// Package stats is a fixture in the merge-path scope.
+package stats
+
+// Sample mimics a Welford accumulator with a float Observe.
+type Sample struct {
+	n    uint64
+	mean float64
+}
+
+// Observe records one float observation. (Not a merge function, so
+// its own float math is legal.)
+func (s *Sample) Observe(x float64) {
+	s.n++
+	s.mean += (x - s.mean) / float64(s.n)
+}
+
+// Results carries one shard's totals.
+type Results struct {
+	ops   uint64
+	score float64
+	lat   Sample
+}
+
+// Merge folds another shard's results: the float paths violate the
+// contract.
+func (r *Results) Merge(o *Results) {
+	r.ops += o.ops
+	r.score += o.score     // want "float accumulation"
+	r.lat.Observe(o.score) // want "float Observe"
+}
+
+// Scale is not a merge function; float arithmetic is fine here.
+func (r *Results) Scale(f float64) {
+	r.score *= f
+}
+
+// MergeAnnotated documents a deliberate float fold.
+func (r *Results) MergeAnnotated(o *Results) {
+	//detlint:allow floatdet fixture: deliberate float fold
+	r.score += o.score
+}

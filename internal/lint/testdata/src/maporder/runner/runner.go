@@ -1,0 +1,72 @@
+// Package runner is a maporder fixture (the contract is module-wide;
+// the path is just descriptive).
+package runner
+
+import "sort"
+
+// Emit feeds map contents straight to the artifact writer in map
+// order: the body calls out, so it is not a pure collect.
+func Emit(m map[string]int, out func(string)) {
+	for k, v := range m { // want "iteration over map"
+		_ = v
+		out(k)
+	}
+}
+
+// EmitSorted collects keys, sorts, then indexes: the sanctioned
+// shape.
+func EmitSorted(m map[string]int, out func(string)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out(k)
+	}
+}
+
+// CollectConverted appends a conversion of the key with an
+// if/continue filter: still a pure collect.
+func CollectConverted(m map[uint32]int) []uint64 {
+	var buf []uint64
+	for k, v := range m {
+		if v == 0 {
+			continue
+		}
+		buf = append(buf, uint64(k))
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf
+}
+
+// CollectSet unions keys into a set and rekeys into another map:
+// distinct-key writes commute, so both loops are pure collects.
+func CollectSet(a, b map[string]int) map[string]bool {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k, v := range b {
+		seen[k] = v > 0
+	}
+	return seen
+}
+
+// EmitSlice ranges a slice: order is the slice's own.
+func EmitSlice(s []string, out func(string)) {
+	for _, v := range s {
+		out(v)
+	}
+}
+
+// Accumulate folds through a function call — impure for the analyzer
+// — but is order-insensitive, and carries the annotation saying so.
+func Accumulate(m map[string]int, weigh func(int) int) int {
+	total := 0
+	//detlint:allow maporder fixture: commutative integer sum through a pure weigh
+	for _, v := range m {
+		total += weigh(v)
+	}
+	return total
+}

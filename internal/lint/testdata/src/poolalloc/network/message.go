@@ -1,0 +1,25 @@
+// Package network declares a pooled type and its free-list
+// allocator.
+package network
+
+// Message is pooled: consumers must call Alloc, never allocate
+// directly.
+type Message struct {
+	Src, Dst int
+}
+
+var free []*Message
+
+// Alloc returns a recycled or new Message. In-package allocation is
+// the pool's own business.
+func Alloc() *Message {
+	if n := len(free); n > 0 {
+		m := free[n-1]
+		free = free[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// Free recycles m.
+func Free(m *Message) { free = append(free, m) }

@@ -1,0 +1,22 @@
+// Package use consumes the pooled network.Message type.
+package use
+
+import "poolalloc/network"
+
+// Fill allocates messages the ways the contract forbids, then the
+// ways it allows.
+func Fill() []*network.Message {
+	a := &network.Message{Src: 1} // want "allocates pooled type"
+	b := new(network.Message)     // want "allocates pooled type"
+	c := network.Alloc()
+	c.Src, c.Dst = 2, 3
+	//detlint:allow poolalloc fixture: cold path setup
+	d := &network.Message{Src: 4}
+	return []*network.Message{a, b, c, d}
+}
+
+// ByValue overwrites pooled storage with a value literal: the
+// recycling idiom itself, no heap allocation.
+func ByValue(m *network.Message) {
+	*m = network.Message{Src: 9}
+}

@@ -1,0 +1,31 @@
+// Package sim is a fixture: its path segment "sim" puts it in the
+// walltime contract's scope.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick observes the wall clock and the global rand source — every
+// flagged line violates the contract.
+func Tick() (time.Time, time.Duration, int) {
+	now := time.Now()            // want "wall-clock time\\.Now"
+	el := time.Since(now)        // want "wall-clock time\\.Since"
+	time.Sleep(time.Millisecond) // want "wall-clock time\\.Sleep"
+	n := rand.Intn(10)           // want "global rand\\.Intn"
+	_ = rand.Float64()           // want "global rand\\.Float64"
+	return now, el, n
+}
+
+// Seeded uses an explicitly seeded local generator: legal.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Allowed carries an annotated wall-clock read.
+func Allowed() time.Time {
+	//detlint:allow walltime fixture: sanctioned fallback path
+	return time.Now()
+}

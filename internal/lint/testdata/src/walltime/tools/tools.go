@@ -1,0 +1,8 @@
+// Package tools is outside the simulation scope; wall-clock use is
+// legal here.
+package tools
+
+import "time"
+
+// Stamp may read the wall clock: "tools" is not a simulation package.
+func Stamp() time.Time { return time.Now() }

@@ -35,6 +35,7 @@ func (s *Store) Len() int { return len(s.versions) }
 // holding version 0 are indistinguishable from unwritten ones and are
 // skipped.
 func (s *Store) ForEach(fn func(a coherence.Addr, v uint64)) {
+	//detlint:allow maporder visitor is documented unspecified-order; canonical consumers collect and sort
 	for a, v := range s.versions {
 		if v != 0 {
 			fn(a, v)

@@ -36,9 +36,20 @@ func NewSink(dir string) (*Sink, error) {
 	return &Sink{dir: dir, columns: map[string][]string{}}, nil
 }
 
+// RunDir returns "<root>/run-<id>": the deterministic run-directory
+// naming used when the caller supplies an explicit run ID. Two
+// invocations with the same ID land in the same directory and (by the
+// sink's truncate-on-first-write rule) reproduce the same bytes.
+func RunDir(root, id string) string {
+	return filepath.Join(root, "run-"+id)
+}
+
 // TimestampedDir returns "<root>/run-YYYYMMDD-HHMMSS" for callers that
-// want a fresh timestamped run directory under a stable root.
+// want a fresh run directory under a stable root without naming it.
+// Prefer RunDir with an explicit ID when artifacts must be
+// reproducible; this fallback is inherently wall-clock-named.
 func TimestampedDir(root string) string {
+	//detlint:allow walltime sanctioned wall-clock fallback for unnamed runs; -run-id selects RunDir instead
 	return filepath.Join(root, "run-"+time.Now().Format("20060102-150405"))
 }
 
@@ -71,8 +82,10 @@ func (s *Sink) AppendRows(results []Result) {
 	defer s.mu.Unlock()
 	files := map[string]*os.File{}
 	defer func() {
-		for _, f := range files {
-			if err := f.Close(); err != nil {
+		// Close in experiment order so the retained first error (and any
+		// flush-time failure it reports) is the same on every run.
+		for _, name := range sortedKeys(files) {
+			if err := files[name].Close(); err != nil {
 				s.fail(err)
 			}
 		}
@@ -150,10 +163,14 @@ func (s *Sink) WriteJSON(name string, v interface{}) {
 	s.fail(os.WriteFile(filepath.Join(s.dir, name+".json"), append(data, '\n'), 0o644))
 }
 
-// Manifest records how a run was produced. It is the only artifact that
-// carries wall-clock state; CSVs and summaries stay byte-reproducible.
+// Manifest records how a run was produced. It is the only artifact
+// that may carry wall-clock state; CSVs and summaries stay
+// byte-reproducible. Runs named by an explicit run ID set RunID and
+// leave StartedAt zero (omitted), so their manifests are
+// byte-reproducible too.
 type Manifest struct {
-	StartedAt   time.Time `json:"started_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	RunID       string    `json:"run_id,omitempty"`
 	Command     string    `json:"command"`
 	Experiments []string  `json:"experiments"`
 	Workers     int       `json:"workers"`

@@ -2,6 +2,7 @@ package snoop
 
 import (
 	"fmt"
+	"slices"
 
 	"specsimp/internal/cache"
 	"specsimp/internal/coherence"
@@ -73,7 +74,15 @@ func (p *Protocol) AuditInvariants() error {
 	for a := range copies {
 		addrs[a] = true
 	}
+	// Audit in address order so the first violation reported is the
+	// same on every run (map order would make failure messages — and
+	// replay triage — nondeterministic).
+	sorted := make([]coherence.Addr, 0, len(addrs))
 	for a := range addrs {
+		sorted = append(sorted, a)
+	}
+	slices.Sort(sorted)
+	for _, a := range sorted {
 		home := p.mems[p.Home(a)]
 		cs := copies[a]
 		owners := 0

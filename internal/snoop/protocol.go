@@ -2,6 +2,7 @@ package snoop
 
 import (
 	"fmt"
+	"slices"
 
 	"specsimp/internal/cache"
 	"specsimp/internal/coherence"
@@ -363,7 +364,16 @@ func (c *sCacheCtrl) restoreLine(addr coherence.Addr, present bool, state uint8,
 }
 
 func (c *sCacheCtrl) flushPendingRestores() {
-	for addr, rl := range c.pendingRestore {
+	// Install in address order: frame choice and LRU rank depend on
+	// install order, so flushing in map order would leave the cache in
+	// a different (replay-divergent) state on every run.
+	addrs := make([]coherence.Addr, 0, len(c.pendingRestore))
+	for addr := range c.pendingRestore {
+		addrs = append(addrs, addr)
+	}
+	slices.Sort(addrs)
+	for _, addr := range addrs {
+		rl := c.pendingRestore[addr]
 		f := c.l2.Victim(addr, func(*cache.Line) bool { return false })
 		if f == nil || f.Valid {
 			panic("snoop: set still full flushing checkpoint restore")

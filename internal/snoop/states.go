@@ -99,6 +99,8 @@ type sKey struct {
 // paper's designers initially overlooked. The Full variant specifies it
 // (correctly, a no-op: ownership already moved to the first requestor);
 // the Spec variant detects it and recovers.
+//
+//detlint:allow edgecontrol registration table filled once in init, read-only afterwards
 var snoopSpecified = map[Variant]map[sKey]bool{}
 
 func init() {

@@ -1,0 +1,242 @@
+// Package sweepcli is the body of the sweep command, factored out of
+// package main so tests can drive full artifact-producing invocations
+// in-process (the -run-id byte-reproducibility regression test runs
+// the CLI twice and diffs the trees).
+//
+// The package deliberately sits outside the walltime contract scope
+// (internal/lint): wall-clock use here is confined to progress timing
+// on stdout and the manifest's StartedAt for unnamed runs — never to
+// simulation or artifact content.
+package sweepcli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"specsimp"
+	"specsimp/internal/experiments"
+	"specsimp/internal/runner"
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// Run executes one sweep invocation with the given command-line
+// arguments (without the program name), writing tables or JSON
+// summaries to w. It is cmd/sweep's entire body; see that command's
+// doc comment for the flag reference.
+func Run(args []string, w io.Writer) error {
+	startedAt := time.Now().UTC()
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, all")
+		quick    = fs.Bool("quick", false, "bench-sized parameters (faster, noisier)")
+		wlName   = fs.String("workload", "oltp", "workload for reorder/buffers/ablations")
+		parallel = fs.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
+		shards   = fs.Int("shards", 1, "INTRA-run parallelism for shard-capable design points (the scale64 directory machines): each single run partitions its torus into N column-strip shards advancing in conservative lockstep windows. Results and artifacts are byte-identical for every value; per point the count is clamped to the largest divisor of the torus width, and snooping points always simulate serially (ordered bus). Must be >= 1.")
+		out      = fs.String("out", "", "artifact directory for CSV+JSON results ('auto' = run dir under sweep-runs/, empty = none)")
+		runID    = fs.String("run-id", "", "name for this run: with -out auto the artifacts land in sweep-runs/run-<id>, and the manifest records the id instead of a wall-clock start time, making the whole artifact tree byte-reproducible (empty = timestamped dir and started_at in the manifest)")
+		asJSON   = fs.Bool("json", false, "print JSON summaries to stdout instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := specsimp.StandardParams()
+	if *quick {
+		p = specsimp.QuickParams()
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d (intra-run shard counts partition a single simulation; 1 means serial)", *shards)
+	}
+	p.Shards = *shards
+	wl, ok := specsimp.WorkloadByName(*wlName)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *wlName)
+	}
+
+	ex := &runner.Runner{Workers: *parallel}
+	if *out != "" {
+		dir := *out
+		if dir == "auto" {
+			if *runID != "" {
+				dir = runner.RunDir("sweep-runs", *runID)
+			} else {
+				dir = runner.TimestampedDir("sweep-runs")
+			}
+		}
+		sink, err := runner.NewSink(dir)
+		if err != nil {
+			return err
+		}
+		ex.Sink = sink
+	}
+	p.Exec = ex
+
+	var ran []string
+	var runErr error
+	run := func(name, title string, fn func() interface{}) {
+		if runErr != nil {
+			return
+		}
+		ran = append(ran, name)
+		start := time.Now()
+		if *asJSON {
+			res := fn()
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]interface{}{"experiment": name, "results": res}); err != nil {
+				runErr = err
+			}
+			return
+		}
+		fmt.Fprintf(w, "==== %s ====\n", title)
+		fn()
+		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	all := *exp == "all"
+	if all || *exp == "fig4" {
+		run("fig4", "Figure 4: normalized performance vs mis-speculation rate", func() interface{} {
+			if !*asJSON {
+				fmt.Fprintf(w, "compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n\n", p.CyclesPerSecond)
+			}
+			res := specsimp.Fig4(p)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.Fig4Table(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "fig5" {
+		run("fig5", "Figure 5: static vs adaptive routing (400 MB/s links)", func() interface{} {
+			res := specsimp.Fig5(p)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.Fig5Table(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "reorder" {
+		run("reorder", "§5.3: message reorder rates vs link bandwidth ("+wl.Name+")", func() interface{} {
+			res := specsimp.ReorderRates(p, wl)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.ReorderTable(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "snoop" {
+		run("snoop", "§5.3: speculatively simplified snooping protocol", func() interface{} {
+			res := specsimp.SnoopRecoveries(p)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.SnoopTable(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "buffers" {
+		run("buffers", "§5.3: simplified interconnect buffer sweep ("+wl.Name+")", func() interface{} {
+			res := specsimp.BufferSweep(p, wl)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.BufferTable(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "scale64" {
+		run("scale64", "Scaling study: 4x4 -> 8x8 -> 16x16, both Spec protocols (directory-only at 256 nodes)", func() interface{} {
+			res := specsimp.ScaleSweep(p)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.ScaleTable(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "slowstart" {
+		run("slowstart", "Ablation A2: slow-start outstanding limit ("+wl.Name+", 2-entry buffers)", func() interface{} {
+			res := experiments.SlowStartAblation(p, wl, []int{1, 2, 4, 8})
+			if !*asJSON {
+				for _, r := range res {
+					fmt.Fprintf(w, "  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
+				}
+			}
+			return res
+		})
+	}
+	if all || *exp == "deflection" {
+		run("deflection", "Ablation A4: deadlock-recovery vs deflection routing ("+wl.Name+")", func() interface{} {
+			res := experiments.DeflectionAblation(p, wl)
+			if !*asJSON {
+				for _, r := range res {
+					fmt.Fprintf(w, "  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
+						r.Name, r.Perf, r.Recoveries, r.Deflections)
+				}
+			}
+			return res
+		})
+	}
+	if all || *exp == "reenable" {
+		run("reenable", "Ablation A5: adaptive-routing re-enable window ("+wl.Name+", amplified reordering)", func() interface{} {
+			res := experiments.ReenableAblation(p, wl,
+				[]sim.Time{0, 2 * p.CheckpointInterval, 10 * p.CheckpointInterval, 50 * p.CheckpointInterval})
+			if !*asJSON {
+				for _, r := range res {
+					name := fmt.Sprintf("%d cycles", r.Window)
+					if r.Window == 0 {
+						name = "never (conservative)"
+					}
+					fmt.Fprintf(w, "  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
+				}
+			}
+			return res
+		})
+	}
+	if all || *exp == "checkpoint" {
+		run("checkpoint", "Ablation A3: checkpoint interval vs log occupancy", func() interface{} {
+			res := experiments.CheckpointAblation(p, workload.Uniform,
+				[]sim.Time{2_000, 5_000, 20_000, 50_000})
+			if !*asJSON {
+				for _, r := range res {
+					fmt.Fprintf(w, "  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
+						r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
+				}
+			}
+			return res
+		})
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if len(ran) == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	if s := ex.Sink; s != nil {
+		m := runner.Manifest{
+			// The recorded command uses the canonical program name and
+			// the caller's argument list, not os.Args: invoking the
+			// binary through different paths must not change manifest
+			// bytes.
+			Command:     strings.TrimSpace("sweep " + strings.Join(args, " ")),
+			Experiments: ran,
+			Workers:     ex.WorkerBound(),
+			Quick:       *quick,
+		}
+		if *runID != "" {
+			m.RunID = *runID
+		} else {
+			m.StartedAt = startedAt
+		}
+		s.WriteJSON("manifest", m)
+		if err := s.Err(); err != nil {
+			return fmt.Errorf("artifact write failed: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: artifacts written to %s\n", s.Dir())
+	}
+	return nil
+}

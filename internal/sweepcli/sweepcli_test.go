@@ -1,0 +1,105 @@
+package sweepcli_test
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"specsimp/internal/runner"
+	"specsimp/internal/sweepcli"
+)
+
+// TestRunIDArtifactsByteIdentical is the reproducibility pin for the
+// -run-id contract: two complete scale64 sweeps with the same run id
+// must produce byte-identical artifact trees — CSVs, JSON summaries,
+// AND the manifest (which swaps its wall-clock start time for the run
+// id). Each invocation runs from its own working directory with a
+// relative -out, so the recorded command and every artifact path are
+// position-independent.
+func TestRunIDArtifactsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick scale64 sweeps; skipped in -short")
+	}
+	args := []string{"-exp", "scale64", "-quick", "-parallel", "4", "-run-id", "regress", "-out", "auto"}
+	trees := make([]map[string][]byte, 2)
+	for i := range trees {
+		dir := t.TempDir()
+		t.Chdir(dir)
+		if err := sweepcli.Run(args, io.Discard); err != nil {
+			t.Fatalf("sweep run %d: %v", i, err)
+		}
+		trees[i] = readTree(t, filepath.Join(dir, "sweep-runs", "run-regress"))
+	}
+
+	names := sortedNames(trees[0])
+	if want := []string{"manifest.json", "scale64.csv", "scale64.json"}; !equalStrings(names, want) {
+		t.Fatalf("artifact tree = %v, want %v", names, want)
+	}
+	if other := sortedNames(trees[1]); !equalStrings(names, other) {
+		t.Fatalf("artifact trees differ in shape: %v vs %v", names, other)
+	}
+	for _, name := range names {
+		if !bytes.Equal(trees[0][name], trees[1][name]) {
+			t.Errorf("%s differs between identical -run-id runs:\n--- run 0 ---\n%s\n--- run 1 ---\n%s",
+				name, trees[0][name], trees[1][name])
+		}
+	}
+}
+
+// TestRunDirNaming pins the deterministic directory scheme -run-id
+// selects (and that the wall-clock fallback stays out of it).
+func TestRunDirNaming(t *testing.T) {
+	if got, want := runner.RunDir("sweep-runs", "x"), filepath.Join("sweep-runs", "run-x"); got != want {
+		t.Fatalf("RunDir = %q, want %q", got, want)
+	}
+}
+
+// readTree loads every file under root keyed by slash-relative path.
+func readTree(t *testing.T, root string) map[string][]byte {
+	t.Helper()
+	tree := map[string][]byte{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		tree[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read artifact tree %s: %v", root, err)
+	}
+	return tree
+}
+
+func sortedNames(tree map[string][]byte) []string {
+	names := make([]string, 0, len(tree))
+	for name := range tree {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
