@@ -13,6 +13,7 @@
 //	sweep -exp deflection         # ablation A4
 //	sweep -exp reenable           # ablation A5
 //	sweep -exp checkpoint         # ablation A3
+//	sweep -exp availability       # fault regimes x checkpoint cadence
 //	sweep -exp all
 //	sweep -exp fig5 -quick        # bench-sized parameters
 //

@@ -163,6 +163,15 @@ type Coordinator struct {
 	total      stats.Counter
 	lostWork   stats.Sample
 	recovering bool
+
+	// rollback and recoveryLat are the exact integer distributions the
+	// availability experiment reports: cycles of lost work per recovery,
+	// and detection-to-resume latency per recovery (including any
+	// deferral the fault spent waiting behind an in-progress recovery
+	// or a window edge). Exact accumulators keep the columns
+	// bit-identical at every shard count.
+	rollback    stats.IntSample
+	recoveryLat stats.IntSample
 }
 
 // NewCoordinator builds a coordinator over a SafetyNet manager.
@@ -184,6 +193,15 @@ func (c *Coordinator) ResumeAt() sim.Time { return c.resumeAt }
 // Duplicate detections during an in-progress recovery are coalesced. It
 // reports whether a recovery was actually performed.
 func (c *Coordinator) TriggerMisSpeculation(reason string) bool {
+	return c.TriggerMisSpeculationAt(reason, c.k.Now())
+}
+
+// TriggerMisSpeculationAt is TriggerMisSpeculation for detections whose
+// nominal fault time precedes the call: a mid-window detection deferred
+// to the edge, or a fault held back behind an in-progress recovery. The
+// recovery-latency distribution then charges the deferral honestly —
+// latency runs from detectedAt to the post-recovery resume time.
+func (c *Coordinator) TriggerMisSpeculationAt(reason string, detectedAt sim.Time) bool {
 	if c.InRecovery() || c.recovering {
 		return false
 	}
@@ -200,6 +218,7 @@ func (c *Coordinator) TriggerMisSpeculation(reason string) bool {
 
 	snapshot, lost := c.mgr.Recover()
 	c.lostWork.Observe(float64(lost))
+	c.rollback.Observe(uint64(lost))
 	if c.ResetFn != nil {
 		c.ResetFn()
 	}
@@ -207,6 +226,11 @@ func (c *Coordinator) TriggerMisSpeculation(reason string) bool {
 		c.RestoreFn(snapshot)
 	}
 	c.resumeAt = c.k.Now() + c.mgr.Config().RecoveryLatency
+	if c.resumeAt > detectedAt {
+		c.recoveryLat.Observe(uint64(c.resumeAt - detectedAt))
+	} else {
+		c.recoveryLat.Observe(0)
+	}
 	if c.PolicyExempt == nil || !c.PolicyExempt(reason) {
 		for _, p := range c.policies {
 			p.OnRecovery(c.total.Value())
@@ -241,6 +265,14 @@ func (c *Coordinator) Reasons() []string {
 
 // MeanLostWork returns the mean rollback distance in cycles.
 func (c *Coordinator) MeanLostWork() float64 { return c.lostWork.Mean() }
+
+// RollbackDist returns the exact rollback-distance distribution
+// (cycles of lost work per recovery).
+func (c *Coordinator) RollbackDist() stats.IntSummary { return c.rollback.Summary() }
+
+// RecoveryLatencyDist returns the exact recovery-latency distribution:
+// nominal detection time to post-recovery resume, per recovery.
+func (c *Coordinator) RecoveryLatencyDist() stats.IntSummary { return c.recoveryLat.Summary() }
 
 // String summarizes recovery activity.
 func (c *Coordinator) String() string {

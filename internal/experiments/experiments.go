@@ -186,6 +186,21 @@ func metricsFrom(r system.Results) runner.Metrics {
 		MissLatencyMean:   r.MissLatencyMean,
 		LimitStalls:       float64(r.LimitStalls),
 		OrderViolations:   float64(r.OrderViolations),
+
+		OutageCycles:            float64(r.OutageCycles),
+		DegradedCycles:          float64(r.DegradedCycles),
+		DegradedInstructions:    float64(r.DegradedInstructions),
+		LogStallCycles:          float64(r.LogStallCycles),
+		LogOverflows:            float64(r.LogOverflows),
+		CheckpointIntervalFinal: float64(r.CheckpointIntervalFinal),
+		RecoveryLatN:            float64(r.RecoveryLatency.N),
+		RecoveryLatSum:          float64(r.RecoveryLatency.Sum),
+		RecoveryLatMin:          float64(r.RecoveryLatency.Min),
+		RecoveryLatMax:          float64(r.RecoveryLatency.Max),
+		RollbackN:               float64(r.RollbackDist.N),
+		RollbackSum:             float64(r.RollbackDist.Sum),
+		RollbackMin:             float64(r.RollbackDist.Min),
+		RollbackMax:             float64(r.RollbackDist.Max),
 	}
 	for v := 0; v < 4 && v < len(r.ReorderRatePerVNet); v++ {
 		m.ReorderVNet[v] = r.ReorderRatePerVNet[v]

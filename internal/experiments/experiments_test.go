@@ -368,3 +368,77 @@ func TestScaleSweepShardDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestAvailabilityDriver checks the availability sweep's shape and that
+// the fault regimes actually stress the machine at unit-test scale:
+// every regime x cadence point recovers, the rows expose the
+// degraded-mode and distribution columns, and the adaptive controller
+// reports a final interval.
+func TestAvailabilityDriver(t *testing.T) {
+	p := tiny()
+	res := Availability(p)
+	if len(res) != 12 {
+		t.Fatalf("rows=%d, want 4 regimes x 3 cadences", len(res))
+	}
+	for _, r := range res {
+		if r.Recoveries == 0 {
+			t.Errorf("%s/%s: no recoveries", r.Regime, r.Cadence)
+		}
+		if r.RecoveryLatMean <= 0 || r.RecoveryLatMax <= 0 {
+			t.Errorf("%s/%s: empty recovery-latency distribution (mean=%v max=%v)",
+				r.Regime, r.Cadence, r.RecoveryLatMean, r.RecoveryLatMax)
+		}
+		if r.DegradedPct <= 0 {
+			t.Errorf("%s/%s: no degraded time despite recoveries", r.Regime, r.Cadence)
+		}
+		if r.FinalInterval == 0 {
+			t.Errorf("%s/%s: no final checkpoint interval", r.Regime, r.Cadence)
+		}
+		if r.Cadence == "adaptive" && r.FinalInterval > float64(p.CheckpointInterval) {
+			t.Errorf("%s/adaptive: final interval %v above the base %d (controller must not relax past base)",
+				r.Regime, r.FinalInterval, p.CheckpointInterval)
+		}
+	}
+}
+
+// TestAvailabilitySweepShardDeterminism extends the intra-run
+// parallelism contract to the availability sweep: its CSV and JSON
+// artifacts — which carry the new degraded-mode and distribution
+// columns — are byte-identical for every -shards value, with the
+// across-run worker count varied at the same time.
+func TestAvailabilitySweepShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("availability grid is slow; the CI lane runs the full CLI variant")
+	}
+	p := tiny()
+	shardCounts := []int{1, 2, 4}
+	dirs := make([]string, len(shardCounts))
+	for i, shards := range shardCounts {
+		dirs[i] = t.TempDir()
+		sink, err := runner.NewSink(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Shards = shards
+		p.Exec = &runner.Runner{Workers: 1 + i, Sink: sink}
+		Availability(p)
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"availability.csv", "availability.json"} {
+		ref, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(dirs); i++ {
+			got, err := os.ReadFile(filepath.Join(dirs[i], name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("%s differs between -shards %d and -shards %d", name, shardCounts[0], shardCounts[i])
+			}
+		}
+	}
+}

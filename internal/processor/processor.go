@@ -76,6 +76,15 @@ type Pool struct {
 	resumeAt sim.Time
 
 	limitStalls []stats.Counter // per shard
+
+	// degradedUntil marks the end of the current post-recovery degraded
+	// window (recovery stall plus the slow-start window). It is written
+	// only from control context (the recovery path); cores read it
+	// mid-window to classify retirements. degraded counts instructions
+	// retired inside degraded windows, striped per shard like
+	// limitStalls so the merged total is shard-count-independent.
+	degradedUntil sim.Time
+	degraded      []stats.Counter // per shard
 }
 
 // NewPool builds n processors driven by per-node generators.
@@ -87,6 +96,7 @@ func NewPool(k *sim.Kernel, n int, access AccessFunc, gens []workload.Generator)
 	p.inflight = make([]int, 1)
 	p.waiting = make([][]*Processor, 1)
 	p.limitStalls = make([]stats.Counter, 1)
+	p.degraded = make([]stats.Counter, 1)
 	for i := 0; i < n; i++ {
 		c := &Processor{pool: p, node: coherence.NodeID(i), k: k, gen: gens[i]}
 		c.doneFn = c.complete
@@ -107,6 +117,7 @@ func (p *Pool) PartitionOnShards(g *sim.Shards, shardOf []int) {
 	p.inflight = make([]int, g.N())
 	p.waiting = make([][]*Processor, g.N())
 	p.limitStalls = make([]stats.Counter, g.N())
+	p.degraded = make([]stats.Counter, g.N())
 	for i, c := range p.procs {
 		c.shard = shardOf[i]
 		c.k = g.Kernel(c.shard)
@@ -202,6 +213,26 @@ func (p *Pool) RestoreAll(snaps []Snapshot) {
 	}
 }
 
+// MarkDegradedUntil extends the degraded window: instructions retired
+// before at count as degraded-mode throughput. Called from the recovery
+// path (control context) with the post-recovery resume time plus the
+// slow-start window; overlapping recoveries simply extend the window.
+func (p *Pool) MarkDegradedUntil(at sim.Time) {
+	if at > p.degradedUntil {
+		p.degradedUntil = at
+	}
+}
+
+// DegradedInstructions returns the instructions retired inside
+// post-recovery degraded windows (see MarkDegradedUntil).
+func (p *Pool) DegradedInstructions() uint64 {
+	var total uint64
+	for i := range p.degraded {
+		total += p.degraded[i].Value()
+	}
+	return total
+}
+
 // LimitStalls returns how many issue attempts were deferred by the
 // outstanding limit (slow-start's visible cost).
 func (p *Pool) LimitStalls() uint64 {
@@ -292,7 +323,11 @@ func (c *Processor) complete() {
 	op := c.gen.Peek()
 	c.pending = false
 	p.inflight[c.shard]--
-	c.instret += uint64(op.Think) + 1
+	retired := uint64(op.Think) + 1
+	c.instret += retired
+	if c.k.Now() < p.degradedUntil {
+		p.degraded[c.shard].Add(retired)
+	}
 	c.gen.Advance()
 	if !p.sharded {
 		// Sharded mode defers grants to the window edge: a completion

@@ -30,34 +30,67 @@ type Metrics struct {
 	LimitStalls       float64
 	OrderViolations   float64
 	ReorderVNet       [4]float64
+
+	// Availability metrics (see system.Results): degraded-mode
+	// throughput, log backpressure, and the exact recovery-latency and
+	// rollback-distance distribution moments. All are integers in the
+	// source struct; float64 holds them losslessly at experiment scales.
+	OutageCycles            float64
+	DegradedCycles          float64
+	DegradedInstructions    float64
+	LogStallCycles          float64
+	LogOverflows            float64
+	CheckpointIntervalFinal float64
+	RecoveryLatN            float64
+	RecoveryLatSum          float64
+	RecoveryLatMin          float64
+	RecoveryLatMax          float64
+	RollbackN               float64
+	RollbackSum             float64
+	RollbackMin             float64
+	RollbackMax             float64
 }
 
 // metricKeys lists every metric column in sorted order — the CSV layout
 // contract (the artifact format predates the typed schema and is kept
 // byte-compatible).
 var metricKeys = []string{
+	"checkpoint_interval_final",
 	"checkpoint_stall",
 	"checkpoints",
 	"corner_detected",
 	"corner_handled",
 	"cycles",
 	"deflections",
+	"degraded_cycles",
+	"degraded_instructions",
 	"instructions",
 	"inv_broadcasts",
 	"invalidations",
 	"limit_stalls",
 	"log_high_water_bytes",
+	"log_overflows",
+	"log_stall_cycles",
 	"mean_link_util",
 	"mean_lost_work",
 	"miss_latency_mean",
 	"order_violations",
+	"outage_cycles",
 	"perf",
 	"recoveries",
+	"recovery_lat_max",
+	"recovery_lat_min",
+	"recovery_lat_n",
+	"recovery_lat_sum",
 	"reorder_total",
 	"reorder_vnet0",
 	"reorder_vnet1",
 	"reorder_vnet2",
 	"reorder_vnet3",
+	"rollback_max",
+	"rollback_min",
+	"rollback_n",
+	"rollback_sum",
 	"sharer_overflows",
 	"timeouts",
 	"transactions",
@@ -127,6 +160,34 @@ func (m *Metrics) Get(key string) float64 {
 		return m.ReorderVNet[2]
 	case "reorder_vnet3":
 		return m.ReorderVNet[3]
+	case "outage_cycles":
+		return m.OutageCycles
+	case "degraded_cycles":
+		return m.DegradedCycles
+	case "degraded_instructions":
+		return m.DegradedInstructions
+	case "log_stall_cycles":
+		return m.LogStallCycles
+	case "log_overflows":
+		return m.LogOverflows
+	case "checkpoint_interval_final":
+		return m.CheckpointIntervalFinal
+	case "recovery_lat_n":
+		return m.RecoveryLatN
+	case "recovery_lat_sum":
+		return m.RecoveryLatSum
+	case "recovery_lat_min":
+		return m.RecoveryLatMin
+	case "recovery_lat_max":
+		return m.RecoveryLatMax
+	case "rollback_n":
+		return m.RollbackN
+	case "rollback_sum":
+		return m.RollbackSum
+	case "rollback_min":
+		return m.RollbackMin
+	case "rollback_max":
+		return m.RollbackMax
 	}
 	panic("runner: unknown metric key " + key)
 }

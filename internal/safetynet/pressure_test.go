@@ -1,0 +1,101 @@
+package safetynet
+
+import (
+	"testing"
+
+	"specsimp/internal/sim"
+)
+
+// TestPressureFlagAndOverflowAccounting exercises the log-capacity
+// machinery in isolation: the pressure flag rises exactly once when a
+// node's log reaches capacity (firing OnPressure on the transition, not
+// on every append), overflows count only appends past the byte budget,
+// and committing a validated checkpoint frees the entries and clears
+// the flag.
+func TestPressureFlagAndOverflowAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(2, 100) // validation window 300
+	cfg.LogBytes = 3 * cfg.EntryBytes
+	m := NewManager(k, cfg)
+	fired := 0
+	m.OnPressure = func() { fired++ }
+	m.TakeCheckpoint("s0")
+
+	set := func(key uint64) {
+		m.LogOldValue(0, key, func() {})
+	}
+	set(1)
+	set(2)
+	if m.PressureSignal() || fired != 0 {
+		t.Fatalf("pressure before capacity: signal=%v fired=%d", m.PressureSignal(), fired)
+	}
+	set(3) // at capacity
+	if !m.PressureSignal() || fired != 1 {
+		t.Fatalf("pressure at capacity: signal=%v fired=%d", m.PressureSignal(), fired)
+	}
+	if m.Overflows() != 0 {
+		t.Fatalf("overflows=%d at exactly capacity, want 0", m.Overflows())
+	}
+	set(4) // past capacity: accepted (recovery needs it) but counted
+	if m.Overflows() != 1 || fired != 1 {
+		t.Fatalf("past capacity: overflows=%d fired=%d, want 1 and 1", m.Overflows(), fired)
+	}
+
+	// A newer checkpoint that ages past its validation window commits,
+	// freeing the old epoch's entries and recomputing pressure.
+	k.Run(150)
+	m.TakeCheckpoint("s1") // validates at t=450
+	k.Run(550)
+	m.CommitNow()
+	if m.PressureSignal() {
+		t.Fatal("pressure survived a commit that freed the log")
+	}
+	if occ := m.MaxOccupancyEntries(); occ != 0 {
+		t.Fatalf("occupancy %d after commit, want 0", occ)
+	}
+	if m.Overflows() != 1 {
+		t.Fatalf("overflow count changed across commit: %d", m.Overflows())
+	}
+}
+
+// TestUnlimitedLogNeverPressuresOrOverflows: LogBytes == 0 disables the
+// capacity entirely — no pressure flags, no overflow counts, regardless
+// of volume. (Regression: the overflow counter once compared against
+// the zero budget and counted every append.)
+func TestUnlimitedLogNeverPressuresOrOverflows(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(1, 100)
+	cfg.LogBytes = 0
+	m := NewManager(k, cfg)
+	m.TakeCheckpoint(nil)
+	for key := uint64(0); key < 10_000; key++ {
+		m.LogOldValue(0, key, func() {})
+	}
+	if m.PressureSignal() || m.Overflows() != 0 {
+		t.Fatalf("unlimited log: pressure=%v overflows=%d", m.PressureSignal(), m.Overflows())
+	}
+}
+
+// TestTakeCheckpointWindowControlsValidation: a checkpoint taken with
+// an explicit window validates on that window, not the configured
+// default — the lever the adaptive cadence controller depends on.
+func TestTakeCheckpointWindowControlsValidation(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewManager(k, DefaultConfig(1, 100)) // default window 300
+	m.TakeCheckpoint("s0")
+	k.Run(50)
+	m.TakeCheckpointWindow("s1", 10) // validates at t=60
+	k.Run(70)
+	if _, snap := m.RecoveryPoint(); snap != "s1" {
+		t.Fatalf("recovery point %v at t=70, want s1 (validated at 60)", snap)
+	}
+	m.TakeCheckpointWindow("s2", 1_000) // validates at t=1070
+	k.Run(570)                          // s2 still aging
+	if _, snap := m.RecoveryPoint(); snap != "s1" {
+		t.Fatalf("recovery point %v at t=570, want s1 (s2 validates at 1070)", snap)
+	}
+	k.Run(1_170)
+	if _, snap := m.RecoveryPoint(); snap != "s2" {
+		t.Fatalf("recovery point %v at t=1170, want s2", snap)
+	}
+}

@@ -75,6 +75,7 @@ type entry struct {
 type checkpoint struct {
 	epoch    uint64
 	at       sim.Time
+	validAt  sim.Time // when this checkpoint becomes committable
 	snapshot interface{}
 }
 
@@ -102,6 +103,23 @@ type Manager struct {
 	overflows     []uint64
 	rollbackLoss  stats.Sample // cycles of lost work per recovery
 	occupancyHW   []int        // per-node high-water mark, entries
+
+	// capEntries is LogBytes/EntryBytes: the per-node log capacity in
+	// entries. pressure[i] is set by LogOldValue (hot path, written
+	// only by node i's owning shard) when node i's log reaches
+	// capacity, and recomputed from actual occupancy at control points
+	// (CommitNow, Recover). The system layer polls PressureSignal at
+	// window edges and engages the log stall.
+	capEntries int
+	pressure   []bool
+
+	// OnPressure, when non-nil, fires whenever a node's pressure flag
+	// transitions from clear to set. Only the classic serial path may
+	// install it (the callback runs on the logging hot path, which in
+	// sharded mode executes on the node's owning shard where global
+	// control is off-limits); sharded systems poll PressureSignal at
+	// window edges instead.
+	OnPressure func()
 }
 
 // NewManager creates a manager. TakeCheckpoint must be called once (with
@@ -122,6 +140,10 @@ func NewManager(k *sim.Kernel, cfg Config) *Manager {
 	m.occupancyHW = make([]int, cfg.Nodes)
 	m.entriesLogged = make([]uint64, cfg.Nodes)
 	m.overflows = make([]uint64, cfg.Nodes)
+	m.pressure = make([]bool, cfg.Nodes)
+	if cfg.LogBytes > 0 {
+		m.capEntries = cfg.LogBytes / cfg.EntryBytes
+	}
 	return m
 }
 
@@ -136,10 +158,20 @@ func (m *Manager) Epoch() uint64 { return m.epoch }
 // covered by the undo logs). The caller must have quiesced the system.
 // It returns the new epoch number.
 func (m *Manager) TakeCheckpoint(snapshot interface{}) uint64 {
+	return m.TakeCheckpointWindow(snapshot, m.cfg.ValidationWindow)
+}
+
+// TakeCheckpointWindow is TakeCheckpoint with an explicit validation
+// window for this checkpoint: it becomes committable once window cycles
+// pass with no recovery. The adaptive-cadence controller uses it so a
+// checkpoint taken under a shortened interval validates after three of
+// the *current* intervals, not three of the configured base interval.
+func (m *Manager) TakeCheckpointWindow(snapshot interface{}, window sim.Time) uint64 {
 	if len(m.ckpts) > 0 {
 		m.epoch++
 	}
-	m.ckpts = append(m.ckpts, checkpoint{epoch: m.epoch, at: m.k.Now(), snapshot: snapshot})
+	now := m.k.Now()
+	m.ckpts = append(m.ckpts, checkpoint{epoch: m.epoch, at: now, validAt: now + window, snapshot: snapshot})
 	m.checkpoints.Inc()
 	m.commit()
 	return m.epoch
@@ -151,7 +183,7 @@ func (m *Manager) commit() {
 	now := m.k.Now()
 	newest := -1
 	for i, c := range m.ckpts {
-		if c.at+m.cfg.ValidationWindow <= now {
+		if c.validAt <= now {
 			newest = i
 		}
 	}
@@ -169,7 +201,14 @@ func (m *Manager) commit() {
 		}
 		m.logs[n] = keep
 	}
+	m.recomputePressure()
 }
+
+// CommitNow re-runs checkpoint commitment against the current clock
+// without taking a new checkpoint. The log-stall path calls it while
+// waiting for a forced checkpoint's validation window to elapse so
+// over-capacity logs drain as soon as the protocol allows.
+func (m *Manager) CommitNow() { m.commit() }
 
 // LogOldValue records an undo action for the first modification of the
 // state identified by key at node in the current epoch. Subsequent
@@ -187,10 +226,22 @@ func (m *Manager) LogOldValue(node int, key uint64, undo func()) {
 	m.seen[node][key] = m.epoch
 	m.logs[node] = append(m.logs[node], entry{epoch: m.epoch, undo: undo})
 	m.entriesLogged[node]++
-	if n := len(m.logs[node]); n > m.occupancyHW[node] {
+	n := len(m.logs[node])
+	if n > m.occupancyHW[node] {
 		m.occupancyHW[node] = n
-		if n*m.cfg.EntryBytes > m.cfg.LogBytes {
+		if m.cfg.LogBytes > 0 && n*m.cfg.EntryBytes > m.cfg.LogBytes {
 			m.overflows[node]++
+		}
+	}
+	if m.capEntries > 0 && n >= m.capEntries && !m.pressure[node] {
+		// Log full: raise the node's pressure flag. The entry is still
+		// accepted (recovery must be able to rewind everything the node
+		// touched); the system layer reads the flag at its next control
+		// point and stalls execution until validation frees space —
+		// the honest cost the paper's 512 KB budget implies.
+		m.pressure[node] = true
+		if m.OnPressure != nil {
+			m.OnPressure()
 		}
 	}
 }
@@ -210,7 +261,7 @@ func (m *Manager) target() checkpoint {
 	now := m.k.Now()
 	best := m.ckpts[0]
 	for _, c := range m.ckpts {
-		if c.at+m.cfg.ValidationWindow <= now {
+		if c.validAt <= now {
 			best = c
 		}
 	}
@@ -252,7 +303,50 @@ func (m *Manager) Recover() (snapshot interface{}, lost sim.Time) {
 		m.ckpts = m.ckpts[:len(m.ckpts)-1]
 	}
 	m.epoch = c.epoch
+	m.recomputePressure()
 	return c.snapshot, lost
+}
+
+// recomputePressure rederives each node's pressure flag from its actual
+// log occupancy. Runs at control points only (commit, recovery), where
+// no shard is mid-window.
+func (m *Manager) recomputePressure() {
+	if m.capEntries <= 0 {
+		return
+	}
+	for n := range m.pressure {
+		m.pressure[n] = len(m.logs[n]) >= m.capEntries
+	}
+}
+
+// PressureSignal reports whether any node's log has reached capacity.
+// Safe only from control context (window edges, or the serial kernel):
+// the flags are written by the logging hot path of each node's owning
+// shard mid-window.
+func (m *Manager) PressureSignal() bool {
+	for _, p := range m.pressure {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
+// CapacityEntries returns the per-node log capacity in entries (0 =
+// unlimited).
+func (m *Manager) CapacityEntries() int { return m.capEntries }
+
+// MaxOccupancyEntries returns the largest current (not high-water) log
+// occupancy across nodes, in entries — the adaptive-cadence
+// controller's feedback signal.
+func (m *Manager) MaxOccupancyEntries() int {
+	max := 0
+	for n := range m.logs {
+		if len(m.logs[n]) > max {
+			max = len(m.logs[n])
+		}
+	}
+	return max
 }
 
 // Recoveries returns the number of recoveries performed.
@@ -271,7 +365,10 @@ func (m *Manager) EntriesLogged() uint64 {
 }
 
 // Overflows returns how many log appends exceeded the configured
-// LogBytes capacity (counted, not stalled; see package comment).
+// LogBytes capacity. Since the backpressure fix each overflow also
+// raises the node's pressure flag (the system stalls until validation
+// frees space); the counter remains as the occupancy-excess metric the
+// A3 ablation reports.
 func (m *Manager) Overflows() uint64 {
 	var total uint64
 	for _, n := range m.overflows {

@@ -154,6 +154,29 @@ func (s *IntSample) Min() uint64 { return s.min }
 // Max returns the largest observation, or 0 with no observations.
 func (s *IntSample) Max() uint64 { return s.max }
 
+// Summary returns the sample's exact state as an exported value.
+func (s *IntSample) Summary() IntSummary {
+	return IntSummary{N: s.n, Sum: s.sum, Min: s.min, Max: s.max}
+}
+
+// IntSummary is the exported snapshot of an IntSample: exact integer
+// moments that survive JSON encoding and deep-equality comparison.
+// Result structs embed it so distribution columns (recovery latency,
+// rollback distance) stay bit-identical across shard counts — the
+// values are plain integers, never order-sensitive float folds.
+type IntSummary struct {
+	N, Sum   uint64
+	Min, Max uint64
+}
+
+// Mean returns Sum/N, or 0 with no observations.
+func (s IntSummary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
+
 // Histogram counts observations in power-of-two buckets, suitable for
 // latency distributions spanning several orders of magnitude. Its
 // moments come from an exact IntSample, so histograms merge without

@@ -33,7 +33,7 @@ func Run(args []string, w io.Writer) error {
 	startedAt := time.Now().UTC()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, all")
+		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, availability, all")
 		quick    = fs.Bool("quick", false, "bench-sized parameters (faster, noisier)")
 		wlName   = fs.String("workload", "oltp", "workload for reorder/buffers/ablations")
 		parallel = fs.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
@@ -205,6 +205,15 @@ func Run(args []string, w io.Writer) error {
 					fmt.Fprintf(w, "  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
 						r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
 				}
+			}
+			return res
+		})
+	}
+	if all || *exp == "availability" {
+		run("availability", "Availability: sustained fault regimes × checkpoint cadence (oltp)", func() interface{} {
+			res := experiments.Availability(p)
+			if !*asJSON {
+				fmt.Fprintln(w, experiments.AvailabilityTable(res))
 			}
 			return res
 		})

@@ -1,0 +1,219 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"specsimp/internal/workload"
+)
+
+// regimeBase configures a small directory machine under one sustained
+// fault regime: 40 faults/s on a 60k-cycle compressed clock lands a
+// fault every ~1.5k cycles, far denser than the ~400-cycle recovery
+// latency alone would force, so every regime exercises the
+// fault-during-recovery deferral path.
+func regimeBase(regime FaultRegime) Config {
+	cfg := DefaultConfigSized(DirectorySpec, workload.OLTP, 4, 4)
+	cfg.CheckpointInterval = 2_000
+	cfg.TimeoutCycles = 0 // isolate the injected-fault schedule
+	cfg.SlowStartWindow = 5_000
+	cfg.CyclesPerSecond = 60_000
+	cfg.FaultRegime = regime
+	cfg.FaultRate = 40
+	return cfg
+}
+
+// TestFaultRegimesBitIdenticalAcrossShards extends the sharding
+// tentpole property to the sustained-fault layer: every regime's entire
+// Results — including the new recovery-latency and rollback-distance
+// distributions — is deep-equal at 1, 2 and 4 shards, and the classic
+// serial path drives the same regimes (its schedule may differ; it must
+// still recover and populate the distributions).
+func TestFaultRegimesBitIdenticalAcrossShards(t *testing.T) {
+	for _, regime := range []FaultRegime{FaultStorm, FaultRegional, FaultRepeat} {
+		cfg := regimeBase(regime)
+		ref := runSharded(t, cfg, 1, 60_000)
+		if ref.Recoveries == 0 {
+			t.Fatalf("%s: regime produced no recoveries; the run proves nothing", regime)
+		}
+		if ref.RecoveryLatency.N != ref.Recoveries {
+			t.Fatalf("%s: %d recoveries but %d latency observations — a recovery was dropped or double-counted",
+				regime, ref.Recoveries, ref.RecoveryLatency.N)
+		}
+		for _, n := range []int{2, 4} {
+			if got := runSharded(t, cfg, n, 60_000); !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: results at %d shards diverged from 1 shard:\n 1: %+v\n%d: %+v", regime, n, ref, n, got)
+			}
+		}
+
+		classic, err := RunOneChecked(cfg, 60_000)
+		if err != nil {
+			t.Fatalf("%s classic: %v", regime, err)
+		}
+		if classic.Recoveries == 0 || classic.RecoveryLatency.N != classic.Recoveries {
+			t.Errorf("%s classic: recoveries=%d latency observations=%d",
+				regime, classic.Recoveries, classic.RecoveryLatency.N)
+		}
+	}
+}
+
+// TestRepeatRegimeAftershocksDeferThroughRecovery: the repeat regime
+// aims an aftershock at the midpoint of each recovery, so some faults
+// must wait out the in-progress recovery before delivering. Their
+// nominal (mid-recovery) detection times are carried through, which
+// shows up as recovery latencies strictly above the fixed recovery
+// cost — the observable proof that deferred faults are charged
+// honestly rather than dropped or re-stamped.
+func TestRepeatRegimeAftershocksDeferThroughRecovery(t *testing.T) {
+	cfg := regimeBase(FaultRepeat)
+	res := runSharded(t, cfg, 1, 60_000)
+	minLat := uint64(cfg.CheckpointInterval / 5) // safetynet.DefaultConfig's recovery latency
+	if res.RecoveryLatency.Max <= minLat {
+		t.Fatalf("max recovery latency %d never exceeded the fixed recovery cost %d; no aftershock was deferred",
+			res.RecoveryLatency.Max, minLat)
+	}
+	if res.RecoveryReasons["repeat"] != res.Recoveries {
+		t.Fatalf("reasons %v vs %d recoveries", res.RecoveryReasons, res.Recoveries)
+	}
+}
+
+// TestInjectedFaultsExactCountWithoutCollisions pins the periodic
+// injector's count in the easy case: with the inject period far above
+// the recovery latency no tick lands during a recovery, so exactly one
+// recovery per grid tick must appear — on the classic path and
+// identically at every shard count.
+func TestInjectedFaultsExactCountWithoutCollisions(t *testing.T) {
+	cfg := DefaultConfigSized(DirectorySpec, workload.OLTP, 4, 4)
+	cfg.CheckpointInterval = 2_000
+	cfg.TimeoutCycles = 0
+	cfg.SlowStartWindow = 1_000
+	cfg.InjectRecoveryEvery = 5_000
+	const cycles, want = 61_000, 12 // ticks at 5k..60k
+
+	classic, err := RunOneChecked(cfg, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.RecoveryReasons["injected"] != want {
+		t.Fatalf("classic: %d injected recoveries, want exactly %d (%v)",
+			classic.RecoveryReasons["injected"], want, classic.RecoveryReasons)
+	}
+	ref := runSharded(t, cfg, 1, cycles)
+	if ref.RecoveryReasons["injected"] != want {
+		t.Fatalf("sharded: %d injected recoveries, want exactly %d", ref.RecoveryReasons["injected"], want)
+	}
+	for _, n := range []int{2, 4} {
+		if got := runSharded(t, cfg, n, cycles); !reflect.DeepEqual(got, ref) {
+			t.Errorf("results at %d shards diverged from 1 shard", n)
+		}
+	}
+}
+
+// TestInjectedFaultsSurviveRecoveryCollisions is the regression for the
+// dropped-fault bug: with the inject period (700) well below the
+// recovery latency (2000), most ticks land while a recovery is already
+// in progress. They must defer and coalesce — never vanish — so
+// recoveries chain back-to-back: after every resume the parked fault
+// redelivers within a cycle, bounding the gap between consecutive
+// recoveries by one recovery latency plus one period. Before the fix,
+// mid-recovery ticks were silently discarded.
+func TestInjectedFaultsSurviveRecoveryCollisions(t *testing.T) {
+	cfg := DefaultConfigSized(DirectorySpec, workload.OLTP, 4, 4)
+	cfg.CheckpointInterval = 10_000 // recovery latency = interval/5 = 2000
+	cfg.TimeoutCycles = 0
+	cfg.SlowStartWindow = 1_000
+	cfg.InjectRecoveryEvery = 700
+	const cycles = 60_000
+	latency := uint64(cfg.CheckpointInterval / 5)
+
+	check := func(name string, r Results) {
+		t.Helper()
+		// No starvation: the chain sustains at least one recovery per
+		// latency+period window (generous slack for checkpoint pauses).
+		min := uint64(cycles) / (latency + 2*uint64(cfg.InjectRecoveryEvery))
+		if r.RecoveryReasons["injected"] < min {
+			t.Fatalf("%s: only %d injected recoveries over %d cycles (want >= %d); deferred faults are being dropped",
+				name, r.RecoveryReasons["injected"], cycles, min)
+		}
+		// No double-count: at most one recovery per nominal grid tick.
+		if max := uint64(cycles) / uint64(cfg.InjectRecoveryEvery); r.RecoveryReasons["injected"] > max {
+			t.Fatalf("%s: %d injected recoveries exceed the %d nominal faults", name, r.RecoveryReasons["injected"], max)
+		}
+		if r.RecoveryLatency.N != r.Recoveries {
+			t.Fatalf("%s: %d recoveries vs %d latency observations", name, r.Recoveries, r.RecoveryLatency.N)
+		}
+		// Deferred deliveries keep their nominal detection time, so some
+		// observed latencies must exceed the fixed recovery cost.
+		if r.RecoveryLatency.Max <= latency {
+			t.Fatalf("%s: max recovery latency %d never exceeded the fixed cost %d; deferral is not being charged",
+				name, r.RecoveryLatency.Max, latency)
+		}
+	}
+	classic, err := RunOneChecked(cfg, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("classic", classic)
+	ref := runSharded(t, cfg, 1, cycles)
+	check("sharded", ref)
+	for _, n := range []int{2, 4} {
+		if got := runSharded(t, cfg, n, cycles); !reflect.DeepEqual(got, ref) {
+			t.Errorf("results at %d shards diverged from 1 shard", n)
+		}
+	}
+}
+
+// TestLogBackpressureStallsInsteadOfFreeOverflow is the regression for
+// the log-overflow bug: with the per-node log shrunk to a handful of
+// entries the machine must visibly pay for overflow — forced early
+// checkpoints beyond the periodic cadence, stall cycles while waiting
+// for validation to free space, counted overflows — while still making
+// forward progress. With the cap removed, neither stalls nor overflows
+// may appear. Both paths, bit-identical across shard counts.
+func TestLogBackpressureStallsInsteadOfFreeOverflow(t *testing.T) {
+	cfg := DefaultConfigSized(DirectorySpec, workload.OLTP, 4, 4)
+	cfg.CheckpointInterval = 2_000
+	cfg.TimeoutCycles = 0
+	cfg.LogBytes = 6 * 72 // six entries per node
+	const cycles = 60_000
+
+	check := func(name string, r Results) {
+		t.Helper()
+		if r.LogOverflows == 0 {
+			t.Fatalf("%s: tiny log never overflowed; the run proves nothing", name)
+		}
+		if r.LogStallCycles == 0 {
+			t.Fatalf("%s: overflowing log produced no stall cycles — logging past capacity is free again", name)
+		}
+		if r.Instructions == 0 {
+			t.Fatalf("%s: no forward progress under backpressure", name)
+		}
+		// A log this small stalls more than it runs: the stall must eat a
+		// visible fraction of the run, not a token cycle or two.
+		if r.LogStallCycles*10 < cycles {
+			t.Fatalf("%s: only %d stall cycles over %d; backpressure is not holding the machine", name, r.LogStallCycles, cycles)
+		}
+	}
+	classic, err := RunOneChecked(cfg, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("classic", classic)
+	ref := runSharded(t, cfg, 1, cycles)
+	check("sharded", ref)
+	for _, n := range []int{2, 4} {
+		if got := runSharded(t, cfg, n, cycles); !reflect.DeepEqual(got, ref) {
+			t.Errorf("results at %d shards diverged from 1 shard", n)
+		}
+	}
+
+	free := cfg
+	free.LogBytes = -1 // unlimited
+	r, err := RunOneChecked(free, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LogOverflows != 0 || r.LogStallCycles != 0 {
+		t.Fatalf("unlimited log reported overflows=%d stalls=%d", r.LogOverflows, r.LogStallCycles)
+	}
+}

@@ -101,6 +101,7 @@ func buildSharded(cfg Config) (*System, error) {
 	}
 
 	sn := safetynet.DefaultConfig(cfg.Nodes, cfg.CheckpointInterval)
+	applyLogBytes(&sn, cfg)
 	mgr := safetynet.NewManager(k0, sn)
 	coord := core.NewCoordinator(k0, mgr)
 
@@ -136,7 +137,10 @@ func buildSharded(cfg Config) (*System, error) {
 	coord.RestoreFn = func(snapshot interface{}) {
 		s.Pool.RestoreAll(snapshot.([]processor.Snapshot))
 	}
-	coord.ResumeFn = func(at sim.Time) { s.Pool.Resume(at) }
+	coord.ResumeFn = func(at sim.Time) {
+		s.noteRecoveryOutage(at)
+		s.Pool.Resume(at)
+	}
 	if cfg.Net.Routing == network.Adaptive {
 		// The policy's timer must fire at a window edge: toggling
 		// routing policy is visible to every shard.
@@ -149,7 +153,15 @@ func buildSharded(cfg Config) (*System, error) {
 	coord.AddPolicy(&core.SlowStart{K: grp, Limiter: s.Pool, Limit: ssLimit, Normal: 0, Window: cfg.SlowStartWindow})
 	coord.PolicyExempt = func(reason string) bool { return reason == "injected" }
 
-	grp.PreControl = s.commitDeferredRecoveries
+	grp.PreControl = func(now sim.Time) {
+		s.commitDeferredRecoveries(now)
+		// Log backpressure, sharded flavor: the pressure flags are
+		// written by each node's owning shard mid-window (never read
+		// there), so the edge is the first safe point to observe them
+		// and force an early checkpoint. The classic path uses
+		// Manager.OnPressure instead.
+		s.forceCheckpoint()
+	}
 	grp.PostControl = func(sim.Time) { s.Pool.GrantWaiting() }
 	return s, nil
 }
@@ -195,10 +207,14 @@ func (s *System) commitDeferredRecoveries(sim.Time) {
 		return
 	}
 	reason := sh.pendReason[best]
+	at := sh.pendAt[best]
 	for i := range sh.pendSet {
 		sh.pendSet[i] = false
 	}
-	s.Coord.TriggerMisSpeculation(reason)
+	// The nominal detection time is the mid-window moment the shard saw
+	// it; passing it through charges the edge-deferral to the
+	// recovery-latency distribution.
+	s.Coord.TriggerMisSpeculationAt(reason, at)
 }
 
 // startSharded is Start for the sharded path: identical structure to
@@ -208,13 +224,14 @@ func (s *System) commitDeferredRecoveries(sim.Time) {
 func (s *System) startSharded() {
 	grp := s.sh.grp
 	s.startedAt = grp.Now()
+	s.ckptInterval = s.Cfg.CheckpointInterval
 	s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
 	if s.OnCheckpoint != nil {
 		s.OnCheckpoint()
 	}
 	s.Pool.Start()
 
-	grp.After(s.Cfg.CheckpointInterval, s.attemptCheckpointSharded)
+	s.scheduleCheckpoint(s.Cfg.CheckpointInterval)
 	if s.Cfg.TimeoutCycles > 0 {
 		interval := s.Cfg.CheckpointInterval / 4
 		var tick func()
@@ -227,19 +244,14 @@ func (s *System) startSharded() {
 		}
 		grp.After(interval, tick)
 	}
-	if d := s.Cfg.InjectRecoveryEvery; d > 0 {
-		var inject func()
-		inject = func() {
-			s.Coord.TriggerMisSpeculation("injected")
-			grp.After(d, inject)
-		}
-		grp.After(d, inject)
-	}
+	s.startFaults(grp)
 }
 
 // attemptCheckpointSharded mirrors attemptCheckpoint on edge control:
 // pause, poll the drain once per edge (the classic path polls every 20
-// cycles; here the edge cadence is the window), checkpoint, resume.
+// cycles; here the edge cadence is the window), checkpoint, then resume
+// — or hold the pool in the log stall if the logs are still at capacity
+// (stallForLogSpaceSharded, the overflow backpressure fix).
 func (s *System) attemptCheckpointSharded() {
 	if s.checkpointing {
 		return
@@ -256,18 +268,54 @@ func (s *System) attemptCheckpointSharded() {
 		}
 		s.Pool.Pause()
 		if s.inFlight() == 0 {
-			s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+			s.occAtCkpt = s.Mgr.MaxOccupancyEntries()
+			s.Mgr.TakeCheckpointWindow(s.Pool.SnapshotAll(), s.validationWindow())
 			if s.OnCheckpoint != nil {
 				s.OnCheckpoint()
 			}
 			s.checkpointStall.Add(uint64(grp.Now() - began))
-			lat := s.Mgr.Config().RegCkptLatency
-			s.Pool.Resume(grp.Now() + lat)
-			s.checkpointing = false
-			grp.After(s.Cfg.CheckpointInterval, s.attemptCheckpointSharded)
+			if s.Mgr.PressureSignal() {
+				s.stallForLogSpaceSharded()
+				return
+			}
+			s.finishCheckpoint()
 			return
 		}
 		grp.After(1, poll) // re-check at the next edge
 	}
 	poll()
+}
+
+// stallForLogSpaceSharded mirrors stallForLogSpace on edge control,
+// polling the commit once per window edge instead of every 20 cycles.
+func (s *System) stallForLogSpaceSharded() {
+	grp := s.sh.grp
+	began := grp.Now()
+	s.logStalled = true
+	s.inLogStall = true
+	s.stallBegan = began
+	deadline := began + s.validationWindow()
+	var wait func()
+	wait = func() {
+		if s.Coord.InRecovery() {
+			grp.ControlAt(s.Coord.ResumeAt()+1, wait)
+			return
+		}
+		s.Pool.Pause()
+		s.Mgr.CommitNow()
+		pressured := s.Mgr.PressureSignal()
+		if pressured && grp.Now() < deadline {
+			grp.After(1, wait)
+			return
+		}
+		s.logStallCycles += uint64(grp.Now() - began)
+		s.inLogStall = false
+		if pressured {
+			s.checkpointing = false
+			s.attemptCheckpointSharded()
+			return
+		}
+		s.finishCheckpoint()
+	}
+	wait()
 }

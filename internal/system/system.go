@@ -105,6 +105,28 @@ type Config struct {
 	// stress methodology. 0 disables injection.
 	InjectRecoveryEvery sim.Time
 
+	// FaultRegime selects the sustained-fault scheduler (see faults.go):
+	// Poisson storms, correlated regional bursts, or repeat faults timed
+	// to land during recovery. FaultRate is the regime's aggregate fault
+	// arrival rate in faults per second of the compressed clock
+	// (CyclesPerSecond maps it onto cycles). FaultNone disables the
+	// scheduler; the legacy periodic injector above runs independently.
+	FaultRegime FaultRegime
+	FaultRate   float64
+
+	// AdaptiveCheckpoint enables the closed-loop cadence controller for
+	// directory kinds: the checkpoint interval halves under observed log
+	// pressure and relaxes back toward CheckpointInterval when logs run
+	// shallow, clamped to [interval/8, interval] (see
+	// nextCheckpointDelay). Snooping kinds checkpoint on a request-count
+	// cadence and reject it.
+	AdaptiveCheckpoint bool
+
+	// LogBytes overrides SafetyNet's per-node log capacity (0 = Table
+	// 2's 512 KB; negative = unlimited). The availability experiment
+	// shrinks it to exercise the log-overflow backpressure path.
+	LogBytes int
+
 	// SlowStartWindow is how long the post-recovery outstanding limit
 	// (SlowStartLimit, default 1) lasts; AdaptiveDisableWindow is how
 	// long adaptive routing stays off after a recovery (0 = forever,
@@ -132,6 +154,14 @@ type Config struct {
 	// of the detect/recover/forward-progress path use this knob.
 	ReorderInjectProb  float64
 	ReorderInjectDelay sim.Time
+
+	// derivedTimeout records the TimeoutCycles value DefaultConfigSized
+	// derived from its checkpoint interval (the 3× coupling). Build and
+	// ValidateConfig re-derive TimeoutCycles when a caller later moved
+	// CheckpointInterval but left the timeout at the recorded
+	// derivation — previously the stale 3×old-interval value silently
+	// survived the override.
+	derivedTimeout sim.Time
 }
 
 // DefaultConfig returns the paper's Table 2 system for the given kind
@@ -169,6 +199,7 @@ func DefaultConfigSized(kind Kind, wl workload.Profile, w, h int) Config {
 	case DirectorySpec:
 		cfg.Net = network.AdaptiveConfig(w, h, 0.8)
 		cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
+		cfg.derivedTimeout = cfg.TimeoutCycles
 	default:
 		// Snooping: the data network is an ordered-agnostic torus.
 		cfg.Net = network.SafeStaticConfig(w, h, 0.8)
@@ -205,6 +236,37 @@ type System struct {
 	checkpointGen   uint64
 	startedAt       sim.Time
 	checkpointStall stats.Counter
+
+	// Checkpoint cadence state: ckptInterval is the controller's current
+	// interval (fixed at Cfg.CheckpointInterval unless
+	// AdaptiveCheckpoint); ckptTimer is a generation token that lets a
+	// pressure-forced early checkpoint cancel the pending periodic
+	// attempt, so the cadence never forks into two chains. occAtCkpt is
+	// the max per-node log occupancy sampled just before the last
+	// checkpoint was taken — the epoch's peak, with the pool drained.
+	// TakeCheckpointWindow commits (frees) entries, so sampling any later
+	// would read the post-commit trough and the controller would relax
+	// straight into pressure.
+	ckptInterval sim.Time
+	ckptTimer    uint64
+	occAtCkpt    int
+
+	// Log-stall accounting (the overflow backpressure fix): logStalled
+	// feeds the cadence controller; inLogStall/stallBegan let Results
+	// charge a stall still in progress at snapshot time.
+	logStalled     bool
+	inLogStall     bool
+	stallBegan     sim.Time
+	logStallCycles uint64
+
+	// Degraded-mode accounting: outageCycles is time fully parked
+	// between fault detection and recovery resume; degradedCycles is the
+	// union of recovery-plus-slow-start windows (degradedUntil marks the
+	// current window's end). All exact integers, updated only from the
+	// recovery path (control context).
+	outageCycles   uint64
+	degradedCycles uint64
+	degradedUntil  sim.Time
 }
 
 // Shards reports the effective intra-run shard count (1 for the
@@ -239,6 +301,7 @@ const MaxSnoopNodes = 64
 // construction, so an oversize machine is an error the caller can
 // report (e.g. per sweep design point), not a panic mid-build.
 func ValidateConfig(cfg Config) error {
+	cfg = normalizeConfig(cfg)
 	if err := cfg.Net.Validate(); err != nil {
 		return err
 	}
@@ -248,11 +311,52 @@ func ValidateConfig(cfg Config) error {
 	if err := validateShards(cfg); err != nil {
 		return err
 	}
+	if err := validateFaults(cfg); err != nil {
+		return err
+	}
 	if cfg.Kind.IsDirectory() {
+		if cfg.TimeoutCycles > 0 && cfg.TimeoutCycles < cfg.CheckpointInterval {
+			return fmt.Errorf("system: TimeoutCycles %d is shorter than CheckpointInterval %d — the watchdog would declare deadlock inside one normal checkpoint epoch; use a multiple of the interval (DefaultConfig derives 3×) or 0 to disarm", cfg.TimeoutCycles, cfg.CheckpointInterval)
+		}
 		return directoryConfigFor(cfg).Validate()
 	}
 	if cfg.Nodes > MaxSnoopNodes {
 		return fmt.Errorf("system: snooping systems cap at %d nodes (every ordered request reaches every node); %d nodes needs a directory kind", MaxSnoopNodes, cfg.Nodes)
+	}
+	return nil
+}
+
+// normalizeConfig re-derives defaults that DefaultConfig coupled to
+// CheckpointInterval. DefaultConfigSized sets TimeoutCycles to three
+// checkpoint intervals for DirectorySpec and records the derivation in
+// derivedTimeout; a caller that then overrides CheckpointInterval
+// without touching TimeoutCycles used to keep the stale 3×old-interval
+// timeout silently. Both ValidateConfig and BuildChecked run this, so
+// the timeout follows the interval unless explicitly overridden.
+func normalizeConfig(cfg Config) Config {
+	if cfg.derivedTimeout != 0 && cfg.TimeoutCycles == cfg.derivedTimeout {
+		cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
+		cfg.derivedTimeout = cfg.TimeoutCycles
+	}
+	return cfg
+}
+
+// validateFaults checks the sustained-fault and adaptive-cadence
+// settings (faults.go) before construction.
+func validateFaults(cfg Config) error {
+	if cfg.FaultRegime > FaultRepeat {
+		return fmt.Errorf("system: unknown FaultRegime %d", cfg.FaultRegime)
+	}
+	if cfg.FaultRegime != FaultNone {
+		if cfg.FaultRate <= 0 {
+			return fmt.Errorf("system: FaultRegime %s requires FaultRate > 0 (faults per second)", cfg.FaultRegime)
+		}
+		if cfg.CyclesPerSecond <= 0 {
+			return fmt.Errorf("system: FaultRegime %s requires CyclesPerSecond > 0 to map FaultRate onto cycles", cfg.FaultRegime)
+		}
+	}
+	if cfg.AdaptiveCheckpoint && !cfg.Kind.IsDirectory() {
+		return fmt.Errorf("system: AdaptiveCheckpoint requires a directory kind (%s checkpoints on a request-count cadence, not a cycle interval)", cfg.Kind)
 	}
 	return nil
 }
@@ -308,6 +412,7 @@ func Build(cfg Config) *System {
 // (oversize machines, bad geometry) as errors before any kernel or
 // network is built.
 func BuildChecked(cfg Config) (*System, error) {
+	cfg = normalizeConfig(cfg)
 	if err := ValidateConfig(cfg); err != nil {
 		return nil, err
 	}
@@ -336,6 +441,7 @@ func BuildChecked(cfg Config) (*System, error) {
 		}
 	}
 	sn := safetynet.DefaultConfig(cfg.Nodes, cfg.CheckpointInterval)
+	applyLogBytes(&sn, cfg)
 	mgr := safetynet.NewManager(k, sn)
 	coord := core.NewCoordinator(k, mgr)
 
@@ -385,7 +491,10 @@ func BuildChecked(cfg Config) (*System, error) {
 	coord.RestoreFn = func(snapshot interface{}) {
 		s.Pool.RestoreAll(snapshot.([]processor.Snapshot))
 	}
-	coord.ResumeFn = func(at sim.Time) { s.Pool.Resume(at) }
+	coord.ResumeFn = func(at sim.Time) {
+		s.noteRecoveryOutage(at)
+		s.Pool.Resume(at)
+	}
 	if cfg.Net.Routing == network.Adaptive {
 		coord.AddPolicy(&core.DisableAdaptiveRouting{K: k, Net: net, ReenableAfter: cfg.AdaptiveDisableWindow})
 	}
@@ -407,6 +516,7 @@ func (s *System) Start() {
 		return
 	}
 	s.startedAt = s.K.Now()
+	s.ckptInterval = s.Cfg.CheckpointInterval
 	s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
 	if s.OnCheckpoint != nil {
 		s.OnCheckpoint()
@@ -414,7 +524,7 @@ func (s *System) Start() {
 	s.Pool.Start()
 
 	if s.Cfg.Kind.IsDirectory() {
-		s.K.After(s.Cfg.CheckpointInterval, func() { s.attemptCheckpoint() })
+		s.scheduleCheckpoint(s.Cfg.CheckpointInterval)
 		if s.Cfg.TimeoutCycles > 0 {
 			s.Dir.StartWatchdog(s.Cfg.CheckpointInterval / 4)
 		}
@@ -433,19 +543,18 @@ func (s *System) Start() {
 		}
 	}
 
-	if d := s.Cfg.InjectRecoveryEvery; d > 0 {
-		var inject func()
-		inject = func() {
-			s.Coord.TriggerMisSpeculation("injected")
-			s.K.After(d, inject)
-		}
-		s.K.After(d, inject)
-	}
+	// Log backpressure (classic path): force an early checkpoint as soon
+	// as any node's log fills. The sharded path polls PressureSignal at
+	// window edges instead — see startSharded.
+	s.Mgr.OnPressure = func() { s.K.After(1, s.forceCheckpoint) }
+	s.startFaults(s.K)
 }
 
 // attemptCheckpoint drains in-flight transactions and takes a SafetyNet
 // checkpoint (a consistent cut by construction — see safetynet package
-// comment), then schedules the next one.
+// comment), then schedules the next one. If the logs are still at
+// capacity after the checkpoint, the pool stays paused until validation
+// frees space (stallForLogSpace — the overflow backpressure fix).
 func (s *System) attemptCheckpoint() {
 	if s.checkpointing {
 		return
@@ -461,22 +570,203 @@ func (s *System) attemptCheckpoint() {
 		}
 		s.Pool.Pause()
 		if s.inFlight() == 0 {
-			s.Mgr.TakeCheckpoint(s.Pool.SnapshotAll())
+			s.occAtCkpt = s.Mgr.MaxOccupancyEntries()
+			s.Mgr.TakeCheckpointWindow(s.Pool.SnapshotAll(), s.validationWindow())
 			if s.OnCheckpoint != nil {
 				s.OnCheckpoint()
 			}
 			s.checkpointStall.Add(uint64(s.K.Now() - began))
-			lat := s.Mgr.Config().RegCkptLatency
-			s.Pool.Resume(s.K.Now() + lat)
-			s.checkpointing = false
-			if s.Cfg.Kind.IsDirectory() {
-				s.K.After(s.Cfg.CheckpointInterval, func() { s.attemptCheckpoint() })
+			if s.Mgr.PressureSignal() {
+				s.stallForLogSpace()
+				return
 			}
+			s.finishCheckpoint()
 			return
 		}
 		s.K.After(20, poll)
 	}
 	poll()
+}
+
+// finishCheckpoint resumes execution after a checkpoint (and any log
+// stall) and schedules the next periodic attempt through the cadence
+// controller.
+func (s *System) finishCheckpoint() {
+	now := s.K.Now()
+	if s.sh != nil {
+		now = s.sh.grp.Now()
+	}
+	lat := s.Mgr.Config().RegCkptLatency
+	s.Pool.Resume(now + lat)
+	s.checkpointing = false
+	if s.Cfg.Kind.IsDirectory() {
+		s.scheduleCheckpoint(s.nextCheckpointDelay())
+	}
+}
+
+// scheduleCheckpoint arms the next periodic checkpoint attempt d cycles
+// out. The generation token lets forceCheckpoint cancel a pending
+// attempt when log pressure forces an early one — each completion then
+// schedules exactly one successor, so the cadence never forks into two
+// concurrent chains.
+func (s *System) scheduleCheckpoint(d sim.Time) {
+	s.ckptTimer++
+	gen := s.ckptTimer
+	fire := func() {
+		if gen != s.ckptTimer {
+			return
+		}
+		if s.sh != nil {
+			s.attemptCheckpointSharded()
+		} else {
+			s.attemptCheckpoint()
+		}
+	}
+	if s.sh != nil {
+		s.sh.grp.After(d, fire)
+	} else {
+		s.K.After(d, fire)
+	}
+}
+
+// forceCheckpoint starts an immediate checkpoint attempt in response to
+// log pressure: the new checkpoint opens an epoch whose validation will
+// free the over-capacity entries, and the attempt holds the pool paused
+// until it does. The classic path reaches here via Manager.OnPressure;
+// the sharded path from its window-edge PreControl scan.
+func (s *System) forceCheckpoint() {
+	if s.checkpointing || !s.Mgr.PressureSignal() {
+		return
+	}
+	s.ckptTimer++ // cancel the pending periodic attempt
+	if s.sh != nil {
+		s.attemptCheckpointSharded()
+	} else {
+		s.attemptCheckpoint()
+	}
+}
+
+// stallForLogSpace holds the pool paused after a checkpoint whose logs
+// are still at capacity, committing as validation windows expire. If a
+// full validation window passes without relief — a recovery discarded
+// the forced checkpoint, or one epoch's working set alone exceeds
+// LogBytes — it restarts the attempt: the system then visibly thrashes
+// (checkpoint, stall, repeat) instead of deadlocking or, as before the
+// fix, logging past its budget for free.
+func (s *System) stallForLogSpace() {
+	began := s.K.Now()
+	s.logStalled = true
+	s.inLogStall = true
+	s.stallBegan = began
+	deadline := began + s.validationWindow()
+	var wait func()
+	wait = func() {
+		if s.Coord.InRecovery() {
+			s.K.At(s.Coord.ResumeAt()+1, wait)
+			return
+		}
+		s.Pool.Pause()
+		s.Mgr.CommitNow()
+		pressured := s.Mgr.PressureSignal()
+		if pressured && s.K.Now() < deadline {
+			s.K.After(20, wait)
+			return
+		}
+		s.logStallCycles += uint64(s.K.Now() - began)
+		s.inLogStall = false
+		if pressured {
+			s.checkpointing = false
+			s.attemptCheckpoint()
+			return
+		}
+		s.finishCheckpoint()
+	}
+	wait()
+}
+
+// nextCheckpointDelay applies the closed-loop cadence controller: halve
+// the interval when the last epoch saw a log stall or occupancy at or
+// above 5/8 of capacity, relax by a quarter when occupancy sits below
+// 1/8, clamp to [base/8, base]. The configured interval is the ceiling,
+// not the midpoint: base is the design point chosen for rollback-
+// distance bounds, and the controller's mandate is shedding log
+// pressure by tightening below it — relaxing past base would trade
+// unbounded rollback distance for log headroom the budget already has.
+// Pure integer arithmetic — the controller's trajectory is part of the
+// bit-identical determinism contract.
+func (s *System) nextCheckpointDelay() sim.Time {
+	base := s.Cfg.CheckpointInterval
+	if !s.Cfg.AdaptiveCheckpoint {
+		return base
+	}
+	cur := s.ckptInterval
+	capE := s.Mgr.CapacityEntries()
+	occ := s.occAtCkpt
+	pressured := s.logStalled || (capE > 0 && occ*8 >= capE*5)
+	s.logStalled = false
+	switch {
+	case pressured:
+		cur /= 2
+	case capE == 0 || occ*8 < capE:
+		cur += cur / 4
+	}
+	if min := base / 8; cur < min {
+		cur = min
+	}
+	if cur > base {
+		cur = base
+	}
+	if cur < 1 {
+		cur = 1
+	}
+	s.ckptInterval = cur
+	return cur
+}
+
+// validationWindow is the window for the next checkpoint: three base
+// intervals normally (Table 2's detection-latency bound), three
+// *current* intervals under the adaptive controller — shrinking the
+// window with the cadence is what lets a tightened cadence free log
+// space sooner.
+func (s *System) validationWindow() sim.Time {
+	if s.Cfg.AdaptiveCheckpoint {
+		return 3 * s.ckptInterval
+	}
+	return s.Mgr.Config().ValidationWindow
+}
+
+// noteRecoveryOutage does the degraded-mode bookkeeping for one
+// recovery, called from the coordinator's resume hook: the machine is
+// fully parked until resumeAt (outage) and runs throttled until
+// resumeAt + SlowStartWindow (degraded). Overlapping windows merge so
+// repeated faults never double-count a cycle.
+func (s *System) noteRecoveryOutage(resumeAt sim.Time) {
+	now := s.K.Now()
+	if resumeAt > now {
+		s.outageCycles += uint64(resumeAt - now)
+	}
+	until := resumeAt + s.Cfg.SlowStartWindow
+	from := now
+	if s.degradedUntil > from {
+		from = s.degradedUntil
+	}
+	if until > from {
+		s.degradedCycles += uint64(until - from)
+	}
+	if until > s.degradedUntil {
+		s.degradedUntil = until
+	}
+	s.Pool.MarkDegradedUntil(until)
+}
+
+// applyLogBytes applies Config.LogBytes to a SafetyNet config: positive
+// overrides the Table 2 capacity, negative removes the bound.
+func applyLogBytes(sn *safetynet.Config, cfg Config) {
+	if cfg.LogBytes > 0 {
+		sn.LogBytes = cfg.LogBytes
+	} else if cfg.LogBytes < 0 {
+		sn.LogBytes = 0
+	}
 }
 
 func (s *System) inFlight() int {
@@ -534,6 +824,25 @@ type Results struct {
 	Timeouts           uint64
 	LimitStalls        uint64
 	LogHighWaterBytes  int
+
+	// Availability metrics: exact integers only, so every column merges
+	// bit-identically at any shard count. OutageCycles is time fully
+	// parked between fault detection and resume; DegradedCycles the
+	// union of recovery-plus-slow-start windows; DegradedInstructions
+	// the instructions retired inside those windows (throughput while
+	// the machine is nominally "up" but degraded). LogStallCycles is
+	// time the log-overflow backpressure held the machine; LogOverflows
+	// counts appends past LogBytes. CheckpointIntervalFinal is the
+	// cadence controller's final interval (== the configured interval
+	// without AdaptiveCheckpoint).
+	OutageCycles            uint64
+	DegradedCycles          uint64
+	DegradedInstructions    uint64
+	LogStallCycles          uint64
+	LogOverflows            uint64
+	CheckpointIntervalFinal uint64
+	RecoveryLatency         stats.IntSummary
+	RollbackDist            stats.IntSummary
 }
 
 // Results snapshots the current measurements.
@@ -558,6 +867,26 @@ func (s *System) Results() Results {
 		TotalReorderRate: netSt.TotalReorderRate(),
 		Deflections:      netSt.Deflections.Value(),
 		LimitStalls:      s.Pool.LimitStalls(),
+
+		DegradedInstructions:    s.Pool.DegradedInstructions(),
+		LogOverflows:            s.Mgr.Overflows(),
+		CheckpointIntervalFinal: uint64(s.ckptInterval),
+		RecoveryLatency:         s.Coord.RecoveryLatencyDist(),
+		RollbackDist:            s.Coord.RollbackDist(),
+	}
+	// Clamp the in-progress tails so a snapshot mid-outage, mid-degraded-
+	// window or mid-log-stall charges only elapsed cycles.
+	r.OutageCycles = s.outageCycles
+	if ra := s.Coord.ResumeAt(); ra > now {
+		r.OutageCycles -= uint64(ra - now)
+	}
+	r.DegradedCycles = s.degradedCycles
+	if s.degradedUntil > now {
+		r.DegradedCycles -= uint64(s.degradedUntil - now)
+	}
+	r.LogStallCycles = s.logStallCycles
+	if s.inLogStall && now > s.stallBegan {
+		r.LogStallCycles += uint64(now - s.stallBegan)
 	}
 	if elapsed > 0 {
 		r.Perf = float64(instr) / float64(elapsed)

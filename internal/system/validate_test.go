@@ -71,6 +71,95 @@ func TestRunOneCheckedRejectsOversizeSnoop(t *testing.T) {
 	}
 }
 
+// TestTimeoutFollowsCheckpointInterval pins the derived-timeout fix:
+// DefaultConfig couples TimeoutCycles to 3× the checkpoint interval, so
+// a caller that overrides CheckpointInterval afterwards must get the
+// timeout re-derived — not silently keep 3× the *old* interval — while
+// an explicitly overridden timeout is respected, and a timeout shorter
+// than the interval is rejected outright.
+func TestTimeoutFollowsCheckpointInterval(t *testing.T) {
+	cfg := DefaultConfig(DirectorySpec, workload.Uniform)
+	if cfg.TimeoutCycles != 3*cfg.CheckpointInterval {
+		t.Fatalf("DefaultConfig: TimeoutCycles=%d, want 3x interval %d", cfg.TimeoutCycles, cfg.CheckpointInterval)
+	}
+
+	// Interval override after DefaultConfig: the derived timeout follows.
+	cfg.CheckpointInterval /= 2
+	s, err := BuildChecked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.TimeoutCycles != 3*cfg.CheckpointInterval {
+		t.Fatalf("timeout not re-derived: got %d, want %d (3x the overridden interval)",
+			s.Cfg.TimeoutCycles, 3*cfg.CheckpointInterval)
+	}
+
+	// An explicit timeout override survives a later interval change.
+	exp := DefaultConfig(DirectorySpec, workload.Uniform)
+	exp.CheckpointInterval = 2_000
+	exp.TimeoutCycles = 9_000
+	s, err = BuildChecked(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.TimeoutCycles != 9_000 {
+		t.Fatalf("explicit timeout overridden: got %d, want 9000", s.Cfg.TimeoutCycles)
+	}
+
+	// A timeout inside one checkpoint epoch is a config error for
+	// directory kinds, not a latent false-deadlock generator.
+	bad := DefaultConfig(DirectorySpec, workload.Uniform)
+	bad.TimeoutCycles = bad.CheckpointInterval / 2
+	err = ValidateConfig(bad)
+	if err == nil || !strings.Contains(err.Error(), "TimeoutCycles") {
+		t.Fatalf("sub-interval timeout: got %v, want TimeoutCycles error", err)
+	}
+	// TimeoutCycles == 0 stays the documented disarm.
+	off := DefaultConfig(DirectorySpec, workload.Uniform)
+	off.TimeoutCycles = 0
+	if err := ValidateConfig(off); err != nil {
+		t.Fatalf("disarmed watchdog rejected: %v", err)
+	}
+}
+
+// TestValidateFaultAndCadenceConfig pins the sustained-fault and
+// adaptive-cadence validation: regimes need a positive rate and clock,
+// unknown regimes are rejected, and the cadence controller is
+// directory-only (snooping checkpoints on a request-count cadence the
+// controller cannot steer).
+func TestValidateFaultAndCadenceConfig(t *testing.T) {
+	cfg := DefaultConfig(DirectorySpec, workload.Uniform)
+	cfg.FaultRegime = FaultStorm
+	if err := ValidateConfig(cfg); err == nil {
+		t.Fatal("storm regime with zero FaultRate validated")
+	}
+	cfg.FaultRate = 10
+	if err := ValidateConfig(cfg); err != nil {
+		t.Fatalf("storm regime with a rate rejected: %v", err)
+	}
+	cfg.CyclesPerSecond = 0
+	if err := ValidateConfig(cfg); err == nil {
+		t.Fatal("fault regime without CyclesPerSecond validated (the rate is per second)")
+	}
+
+	bad := DefaultConfig(DirectorySpec, workload.Uniform)
+	bad.FaultRegime = FaultRegime(17)
+	if err := ValidateConfig(bad); err == nil {
+		t.Fatal("unknown FaultRegime validated")
+	}
+
+	snoop := DefaultConfig(SnoopSpec, workload.Uniform)
+	snoop.AdaptiveCheckpoint = true
+	if err := ValidateConfig(snoop); err == nil {
+		t.Fatal("AdaptiveCheckpoint on a snooping kind validated")
+	}
+	dir := DefaultConfig(DirectorySpec, workload.Uniform)
+	dir.AdaptiveCheckpoint = true
+	if err := ValidateConfig(dir); err != nil {
+		t.Fatalf("AdaptiveCheckpoint on a directory kind rejected: %v", err)
+	}
+}
+
 // TestBuildPanicsStayForLegacyCallers keeps the documented contract of
 // the unchecked constructors: Build panics (with the same descriptive
 // error) for callers that treat configuration as a programming error.
