@@ -299,6 +299,42 @@ func BenchmarkRunOneSharded(b *testing.B) {
 	b.ReportMetric(2, "shards/op")
 }
 
+// BenchmarkRunOne16x16 is the serial baseline at the 256-node geometry
+// the 2D tile substrate targets: the classic single-kernel path on the
+// largest machine the scale64 study runs.
+func BenchmarkRunOne16x16(b *testing.B) {
+	cfg := DefaultConfigSized(DirectorySpec, OLTP, 16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunOne(cfg, 100_000)
+		if res.Instructions == 0 {
+			b.Fatal("no forward progress")
+		}
+	}
+	b.ReportMetric(100_000, "sim-cycles/op")
+}
+
+// BenchmarkRunOne16x16Tiled measures the 2D-tile intra-run path: the
+// same 16×16 run split into a 2×2 tile grid (bit-identical results —
+// the equivalence tests enforce it). Tracked in BENCH_kernel.json
+// against BenchmarkRunOne16x16; the win over the serial baseline comes
+// from the leaner windowed hot path plus the lookahead-pruned O(5N)
+// boundary drains, plus actual parallel window execution on hosts with
+// cores to spare.
+func BenchmarkRunOne16x16Tiled(b *testing.B) {
+	cfg := DefaultConfigSized(DirectorySpec, OLTP, 16, 16)
+	cfg.Shards = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunOne(cfg, 100_000)
+		if res.Instructions == 0 {
+			b.Fatal("no forward progress")
+		}
+	}
+	b.ReportMetric(100_000, "sim-cycles/op")
+	b.ReportMetric(4, "tiles/op")
+}
+
 // BenchmarkSystemThroughput measures raw simulator speed: simulated
 // cycles per host second for the default speculative system.
 func BenchmarkSystemThroughput(b *testing.B) {

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"specsimp"
+	"specsimp/internal/sweepcli"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 		buffers  = flag.Int("buffers", 8, "buffer size for -net simplified")
 		inject   = flag.Uint64("inject", 0, "inject a recovery every N cycles (0 = off)")
 		interval = flag.Uint64("interval", 0, "checkpoint interval override in cycles")
-		shards   = flag.Int("shards", 0, "INTRA-run parallelism: partition this run's torus into N column-strip shards advancing in conservative lockstep windows (directory kinds on unlimited-buffer networks only; must divide the torus width; results are bit-identical for any N >= 1). 0 = classic serial path. Note -runs parallelizes ACROSS perturbed runs instead, one kernel each.")
+		shards   = flag.String("shards", "0", "INTRA-run parallelism: partition this run's torus into tiles advancing in conservative lockstep windows (directory kinds on unlimited-buffer networks only). 'N' requests N tiles auto-factored into a near-square RxC grid; 'RxC' (e.g. 2x2) pins the grid shape — rows must divide the torus height, columns its width. Results are bit-identical for every count and shape >= 1 tile. 0 = classic serial path. Note -runs parallelizes ACROSS perturbed runs instead, one kernel each.")
 	)
 	flag.Parse()
 
@@ -67,7 +68,13 @@ func main() {
 		}
 	}
 	cfg.InjectRecoveryEvery = specsimp.Time(*inject)
-	cfg.Shards = *shards
+	if *shards != "0" {
+		n, rows, cols, err := sweepcli.ParseShards(*shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Shards, cfg.ShardRows, cfg.ShardCols = n, rows, cols
+	}
 	if err := specsimp.ValidateConfig(cfg); err != nil {
 		log.Fatal(err)
 	}

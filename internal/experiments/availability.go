@@ -107,10 +107,10 @@ func Availability(p Params) []AvailabilityResult {
 			cfg.CyclesPerSecond = p.CyclesPerSecond
 			cfg.SlowStartWindow = 5 * p.CheckpointInterval
 			cfg.LogBytes = AvailabilityLogEntries * 72
-			// Intra-run sharding (clamped to the 4-wide torus): the whole
-			// sweep must be byte-identical for every -shards value — the
-			// CI determinism lane diffs the CSVs.
-			cfg.Shards = effectiveShards(p.Shards, 4)
+			// Intra-run tiling (resolved against the 4×4 torus): the
+			// whole sweep must be byte-identical for every -shards value
+			// and tile shape — the CI determinism lane diffs the CSVs.
+			cfg.Shards, cfg.ShardRows, cfg.ShardCols = effectiveTiles(p, 4, 4)
 			if reg.regime == system.FaultNone {
 				cfg.InjectRecoveryEvery = sim.Time(p.CyclesPerSecond / AvailabilityRate)
 			} else {

@@ -15,11 +15,12 @@ var updateErrGolden = flag.Bool("update", false, "rewrite golden files")
 
 // TestUnsupportedDesignPointCSVGolden pins the artifact rendering of
 // the PR-3 per-point error path byte for byte: a snooping design point
-// beyond system.MaxSnoopNodes fails validation (fast, before any
-// kernel exists), the grid keeps running, and the point's CSV row
-// carries zero metrics plus the comma-sanitized error message in the
-// trailing error column — next to a healthy point's row in the same
-// artifact.
+// beyond system.MaxSegmentedSnoopNodes (the 256-node segmented-bus
+// ceiling; 16×16 snooping is a real run now) fails validation (fast,
+// before any kernel exists), the grid keeps running, and the point's
+// CSV row carries zero metrics plus the comma-sanitized error message
+// in the trailing error column — next to a healthy point's row in the
+// same artifact.
 func TestUnsupportedDesignPointCSVGolden(t *testing.T) {
 	dir := t.TempDir()
 	sink, err := runner.NewSink(dir)
@@ -33,14 +34,14 @@ func TestUnsupportedDesignPointCSVGolden(t *testing.T) {
 	good.CyclesPerSecond = 600_000
 	good.TimeoutCycles = 0
 
-	bad := system.DefaultConfigSized(system.SnoopSpec, wl, 16, 16)
+	bad := system.DefaultConfigSized(system.SnoopSpec, wl, 32, 32)
 	bad.CheckpointInterval = 1_000
 	bad.CyclesPerSecond = 600_000
 	bad.TimeoutCycles = 0
 
 	pts := []runner.Point{
 		sysPoint("scale64", good, 20_000, map[string]string{"geom": "2x2", "kind": "snoop-spec", "sharers": "n/a"}, 0),
-		sysPoint("scale64", bad, 20_000, map[string]string{"geom": "16x16", "kind": "snoop-spec", "sharers": "n/a"}, 0),
+		sysPoint("scale64", bad, 20_000, map[string]string{"geom": "32x32", "kind": "snoop-spec", "sharers": "n/a"}, 0),
 	}
 	ex := &runner.Runner{Workers: 1, Sink: sink}
 	res := ex.Run(pts)
@@ -51,7 +52,7 @@ func TestUnsupportedDesignPointCSVGolden(t *testing.T) {
 		t.Fatalf("healthy 2x2 point failed: %v", res[0].Err)
 	}
 	if res[1].Err == nil {
-		t.Fatal("16x16 snooping point did not fail validation")
+		t.Fatal("32x32 snooping point did not fail validation")
 	}
 
 	got, err := os.ReadFile(filepath.Join(dir, "scale64.csv"))

@@ -47,33 +47,56 @@ type Params struct {
 	// Workloads are the profiles to evaluate (default: the paper's 5).
 	Workloads []workload.Profile
 	// Shards requests intra-run parallelism for the design points that
-	// support it (the scale64 directory machines): each single run
-	// partitions its torus into that many conservative-window shards.
-	// Orthogonal to the Runner's across-run worker bound. Values <= 1
-	// (including the zero default) run each point on one shard —
-	// still the windowed engine for shard-capable points, so artifacts
-	// are byte-identical across every Shards value. Per point the
-	// effective count is clamped to the largest divisor of the torus
-	// width, and snooping points always run the classic serial path.
+	// support it (the scale64/scale1024 directory machines): each
+	// single run partitions its torus into that many conservative-
+	// window tiles. Orthogonal to the Runner's across-run worker bound.
+	// Values <= 1 (including the zero default) run each point on one
+	// tile — still the windowed engine for shard-capable points, so
+	// artifacts are byte-identical across every Shards value and every
+	// tile shape. Per point the effective count is clamped to the
+	// largest count with a legal tile factorization of the point's
+	// torus, and snooping points always run the classic serial path.
 	Shards int
+	// ShardRows and ShardCols optionally pin the tile-grid shape
+	// (R rows × C columns; the -shards RxC CLI form). Zero means
+	// auto-factor per point (system.TileGrid). A pinned shape that does
+	// not divide a point's torus falls back to auto-factoring the same
+	// count there.
+	ShardRows, ShardCols int
 	// Exec is the sweep engine the driver submits its grid to: it
 	// bounds worker concurrency and optionally persists artifacts. Nil
 	// uses a fresh engine bounded at GOMAXPROCS with no artifacts.
 	Exec *runner.Runner
 }
 
-// effectiveShards clamps the requested intra-run shard count to what a
-// w-wide torus supports: the largest count <= requested that divides w.
-func effectiveShards(requested, w int) int {
-	if requested > w {
-		requested = w
-	}
-	for s := requested; s > 1; s-- {
-		if w%s == 0 {
-			return s
+// effectiveTiles resolves the requested intra-run tiling for one design
+// point's w×h torus. A pinned ShardRows×ShardCols shape that divides the
+// torus is honored exactly; otherwise the request degrades to a count
+// and the largest count <= requested with a legal tile factorization
+// (system.TileGrid) wins, auto-factored per point (rows/cols 0). The
+// result is never an invalid config: every returned tiling validates on
+// that torus, and the artifacts are byte-identical whichever tiling is
+// picked.
+func effectiveTiles(p Params, w, h int) (shards, rows, cols int) {
+	requested := p.Shards
+	if p.ShardRows > 0 && p.ShardCols > 0 {
+		if requested == 0 {
+			requested = p.ShardRows * p.ShardCols
+		}
+		if requested == p.ShardRows*p.ShardCols &&
+			h%p.ShardRows == 0 && w%p.ShardCols == 0 {
+			return requested, p.ShardRows, p.ShardCols
 		}
 	}
-	return 1
+	if requested > w*h {
+		requested = w * h
+	}
+	for s := requested; s > 1; s-- {
+		if _, _, ok := system.TileGrid(w, h, s); ok {
+			return s, 0, 0
+		}
+	}
+	return 1, 0, 0
 }
 
 // exec returns the configured sweep engine or a bounded default.
@@ -142,7 +165,7 @@ func sysPoint(exp string, cfg system.Config, cycles sim.Time, params map[string]
 			c.Seed = seed
 			r, err := system.RunOneChecked(c, cycles)
 			if err != nil {
-				// An unbuildable machine (e.g. snooping at 256 nodes)
+				// An unbuildable machine (e.g. snooping at 1024 nodes)
 				// fails this design point only; the grid keeps running.
 				return runner.Metrics{}, err
 			}
@@ -589,7 +612,8 @@ type ScaleResult struct {
 	Invalidations float64
 	InvBroadcasts float64
 	// Err marks a design point the machine model does not support (e.g.
-	// snooping at 256 nodes); the sweep reports it and carries on.
+	// snooping at 1024 nodes, past even the segmented address network's
+	// ceiling); the sweep reports it and carries on.
 	Err string `json:",omitempty"`
 }
 
@@ -614,8 +638,8 @@ type scaleVariant struct {
 // scaleVariants lists a kind's design points. Directory systems run the
 // exact bitmap where it fits and both wide formats at 16×16 (so the
 // precision-vs-traffic trade is directly visible in one table); the
-// snooping system runs every geometry and reports the 256-node point as
-// unsupported through the per-point error path.
+// snooping system runs every geometry, riding the segmented address
+// network (snoop.ScaledBusConfig) past the 64-node flat-bus ceiling.
 func scaleVariants(kind system.Kind) []scaleVariant {
 	if !kind.IsDirectory() {
 		var vs []scaleVariant
@@ -634,10 +658,11 @@ func scaleVariants(kind system.Kind) []scaleVariant {
 
 // ScaleSweep runs the scaling study. The directory system keeps its
 // adaptive full-buffered network (deadlock-free, so the watchdog stays
-// off as in Fig5); the snooping system's bus model scales with the
-// geometry (ScaledBusConfig) but the snooping protocol itself caps at
-// 64 nodes, so its 16×16 point fails validation and lands in the
-// results as a reported error rather than killing the sweep.
+// off as in Fig5); the snooping system's address network scales with
+// the geometry (ScaledBusConfig): flat through 64 nodes, segmented at
+// 16×16. Points past a machine model's ceiling (see Scale1024Sweep's
+// 32×32 snooping point) land in the results as reported errors rather
+// than killing the sweep.
 func ScaleSweep(p Params) []ScaleResult {
 	var pts []runner.Point
 	for _, kind := range scaleKinds {
@@ -649,12 +674,13 @@ func ScaleSweep(p Params) []ScaleResult {
 				cfg.TimeoutCycles = 0
 				if kind.IsDirectory() {
 					cfg.Sharers = v.sharers
-					// Intra-run sharding, clamped per point; snooping
+					// Intra-run tiling, resolved per point; snooping
 					// points stay on the classic serial path (Shards 0).
 					// Directory points always use the windowed engine
 					// (Shards >= 1), so the CSVs are byte-identical for
-					// every requested -shards value — CI diffs them.
-					cfg.Shards = effectiveShards(p.Shards, v.w)
+					// every requested -shards value and tile shape —
+					// CI diffs them.
+					cfg.Shards, cfg.ShardRows, cfg.ShardCols = effectiveTiles(p, v.w, v.h)
 				}
 				pts = repeats(pts, "scale64", cfg, p, map[string]string{
 					"kind":    kind.String(),

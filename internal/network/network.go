@@ -34,13 +34,17 @@ type Network struct {
 	sw []*swch
 	ep []*endpoint
 
-	// seqNext[src][dst][vnet] is the next sequence number to stamp.
-	// Only src's shard touches seqNext[src], so the array is shared
-	// across shards without synchronization.
-	seqNext [][][]uint64
-	// maxSeen[dst][src][vnet] is the highest sequence number that has
-	// arrived, for reorder detection. Owned by dst's shard.
-	maxSeen [][][]uint64
+	// seqNext holds the next sequence number to stamp per (src, dst,
+	// vnet), flattened row-major by src (see seqIdx): one contiguous
+	// allocation instead of nodes² tiny slices, which matters at 256+
+	// nodes where the old 3D layout dominated build time. Only src's
+	// shard touches src's row block, so the slice is shared across
+	// shards without synchronization.
+	seqNext []uint64
+	// maxSeen holds the highest sequence number that has arrived per
+	// (dst, src, vnet), flattened row-major by dst, for reorder
+	// detection. dst's row block is owned by dst's shard.
+	maxSeen []uint64
 
 	// sts holds one NetStats per shard: every hot-path counter is
 	// incremented by exactly one shard, and Stats() merges them with
@@ -378,8 +382,8 @@ func build(cfg Config, g *sim.Shards, shardOf []int, k0 *sim.Kernel) (*Network, 
 			ingress: make([]fifo, classes)}
 	}
 
-	n.seqNext = make3d(nodes, nodes, cfg.VNets)
-	n.maxSeen = make3d(nodes, nodes, cfg.VNets)
+	n.seqNext = make([]uint64, nodes*nodes*cfg.VNets)
+	n.maxSeen = make([]uint64, nodes*nodes*cfg.VNets)
 	if g != nil {
 		n.swByShard = make([][]*swch, shards)
 		for i, s := range n.sw {
@@ -403,15 +407,10 @@ func (n *Network) publishOccupancy(shard int) {
 	}
 }
 
-func make3d(a, b, c int) [][][]uint64 {
-	out := make([][][]uint64, a)
-	for i := range out {
-		out[i] = make([][]uint64, b)
-		for j := range out[i] {
-			out[i][j] = make([]uint64, c)
-		}
-	}
-	return out
+// seqIdx flattens an (a, b, vnet) coordinate of the sequence-number
+// tables: row-major by a, then b, then virtual network.
+func (n *Network) seqIdx(a, b NodeID, vnet int) int {
+	return (int(a)*n.cfg.NumNodes()+int(b))*n.cfg.VNets + vnet
 }
 
 // Config returns the network's configuration.
@@ -537,8 +536,9 @@ func (n *Network) Send(m *Message) {
 		panic(fmt.Sprintf("network: sharded send of %dB message below the %dB minimum the lookahead window assumes", m.Size, CtrlBytesDefault))
 	}
 	k := n.sw[m.Src].k
-	m.Seq = n.seqNext[m.Src][m.Dst][m.VNet]
-	n.seqNext[m.Src][m.Dst][m.VNet]++
+	si := n.seqIdx(m.Src, m.Dst, m.VNet)
+	m.Seq = n.seqNext[si]
+	n.seqNext[si]++
 	m.SentAt = k.Now()
 	m.vc = 0
 	m.Hops = 0
@@ -614,14 +614,8 @@ func (n *Network) Reset() {
 		}
 	}
 	// Sequence spaces restart: post-recovery traffic is a fresh stream.
-	for i := range n.seqNext {
-		for j := range n.seqNext[i] {
-			for v := range n.seqNext[i][j] {
-				n.seqNext[i][j][v] = 0
-				n.maxSeen[i][j][v] = 0
-			}
-		}
-	}
+	clear(n.seqNext)
+	clear(n.maxSeen)
 }
 
 func (n *Network) trace(kind TraceEventKind, node NodeID, dir int, m *Message) {
@@ -963,10 +957,10 @@ func (n *Network) arriveLocal(m *Message) {
 	st.PerVNet[m.VNet].Inc()
 	st.Latency.Observe(uint64(now - m.SentAt))
 	st.Hops.Observe(uint64(m.Hops))
-	if m.Seq < n.maxSeen[m.Dst][m.Src][m.VNet] {
+	if mi := n.seqIdx(m.Dst, m.Src, m.VNet); m.Seq < n.maxSeen[mi] {
 		st.Reordered[m.VNet].Inc()
 	} else {
-		n.maxSeen[m.Dst][m.Src][m.VNet] = m.Seq
+		n.maxSeen[mi] = m.Seq
 	}
 	n.trace(TraceDeliver, m.Dst, -1, m)
 

@@ -13,13 +13,17 @@
 //
 // Cross-shard events travel through single-producer/single-consumer
 // boundary queues (one per directed shard pair): the producing shard
-// appends during its window, and the group drains every queue at the
-// next window edge, scheduling the entries into the destination
+// appends during its window, and the group drains every active queue at
+// the next window edge, scheduling the entries into the destination
 // kernels before any shard resumes. Draining preserves per-queue FIFO
 // order, which together with per-link FIFO at the model layer is what
 // makes the execution deterministic at any shard count (see the
 // network package and DESIGN.md "Parallel intra-run DES" for the full
-// argument).
+// argument). A per-pair lookahead table (SetLookahead) declares which
+// directed pairs the model topology can couple and at what minimum
+// latency: inactive pairs are pruned from the drain scan — on a 2D
+// tile grid that turns the O(N^2) edge scan into O(5N) — and every
+// Post is validated against its pair's floor.
 //
 // Global control — checkpoint orchestration, recovery, watchdog scans,
 // anything that reads or writes more than one shard — runs only at
@@ -81,6 +85,22 @@ type Shards struct {
 	// shard dst. Entries drain in (src, FIFO) order at each edge.
 	boxes [][][]PostedEvent
 
+	// look[dst][src] is the per-pair lookahead floor: the smallest
+	// latency any cross-shard event on the directed pair src->dst can
+	// have, or 0 when the pair is inactive (the model topology admits no
+	// src->dst message; Post panics and the drain skips the queue).
+	// NewShards defaults every pair to the window; SetLookahead installs
+	// a model-derived table. The window is the min over active floors,
+	// so a sparser topology prunes the per-edge drain scan from N^2 to
+	// the active-pair count without shrinking the window.
+	look [][]Time
+
+	// srcs[dst] lists the active source shards for dst in ascending
+	// order — the drain order, which matches the dense 0..N-1 scan the
+	// fully-connected default performs (inactive queues are always
+	// empty, so pruning them cannot change the schedule).
+	srcs [][]int
+
 	ctl    []ctlAction // min-heap by (at, seq)
 	ctlSeq uint64
 
@@ -119,6 +139,7 @@ type Shards struct {
 const (
 	jobRunWindow = iota // RunWindow(jobBound)
 	jobRunFinal         // Run(jobBound): inclusive final window
+	jobDrain            // drain boundary queues into the shard's kernel
 	jobPre              // preWindow hooks
 	jobExit             // Run finished; workers return
 )
@@ -141,8 +162,57 @@ func NewShards(n int, window Time) *Shards {
 	for d := range g.boxes {
 		g.boxes[d] = make([][]PostedEvent, n)
 	}
+	// Default topology: fully connected, every pair at the window floor.
+	look := make([][]Time, n)
+	for d := range look {
+		look[d] = make([]Time, n)
+		for s := range look[d] {
+			look[d][s] = window
+		}
+	}
+	g.SetLookahead(look)
 	return g
 }
+
+// SetLookahead installs the per-pair lookahead table: look[dst][src] is
+// the minimum latency of any cross-shard event on the directed pair
+// src->dst, and 0 marks the pair inactive (no model message can couple
+// src to dst; Post panics on it, and the edge drain skips its queue
+// entirely). Self pairs count — same-shard switch-to-switch arrivals
+// route through the boundary queues too, so bucket positions cannot
+// depend on where a partition boundary falls.
+//
+// The group's window must not exceed any active floor: the window is
+// exactly what guarantees a message sent during [T, T+W) cannot arrive
+// before T+W, and an active pair with lookahead below W would break
+// that. The min over active floors is therefore the widest legal
+// window; NewShards callers derive the window from the same table.
+func (g *Shards) SetLookahead(look [][]Time) {
+	n := len(g.ks)
+	if len(look) != n {
+		panic(fmt.Sprintf("sim: lookahead table for %d shards, want %d", len(look), n))
+	}
+	srcs := make([][]int, n)
+	for dst := range look {
+		if len(look[dst]) != n {
+			panic(fmt.Sprintf("sim: lookahead row %d has %d entries, want %d", dst, len(look[dst]), n))
+		}
+		for src, l := range look[dst] {
+			if l == 0 {
+				continue
+			}
+			if l < g.window {
+				panic(fmt.Sprintf("sim: lookahead %d on pair %d->%d is below the %d-cycle window", l, src, dst, g.window))
+			}
+			srcs[dst] = append(srcs[dst], src)
+		}
+	}
+	g.look, g.srcs = look, srcs
+}
+
+// Lookahead returns the floor for the directed pair src->dst (0 when
+// inactive).
+func (g *Shards) Lookahead(src, dst int) Time { return g.look[dst][src] }
 
 // N returns the number of shards.
 func (g *Shards) N() int { return len(g.ks) }
@@ -159,9 +229,18 @@ func (g *Shards) Now() Time { return g.now }
 
 // Post enqueues a cross-shard event: h.HandleEvent(a0, a1, p) fires at
 // `when` on shard dst's kernel. Only the goroutine executing shard src
-// may call it during a window. The event must respect the lookahead:
-// when must be at or beyond the edge that follows the sending window.
+// may call it during a window. The event must respect the pair's
+// lookahead floor: sent at t >= window start with latency >= the floor,
+// it lands at or beyond start+floor — checked here, so a model message
+// that undercuts its declared floor (or crosses an inactive pair) fails
+// loudly instead of silently corrupting determinism.
 func (g *Shards) Post(src, dst int, when Time, h Handler, a0, a1 uint64, p any) {
+	switch l := g.look[dst][src]; {
+	case l == 0:
+		panic(fmt.Sprintf("sim: Post on inactive shard pair %d->%d (not in the lookahead topology)", src, dst))
+	case when < g.now+l:
+		panic(fmt.Sprintf("sim: Post at %d on pair %d->%d undercuts lookahead %d (window start %d)", when, src, dst, l, g.now))
+	}
 	g.boxes[dst][src] = append(g.boxes[dst][src], PostedEvent{When: when, H: h, A0: a0, A1: a1, P: p})
 }
 
@@ -183,8 +262,11 @@ func (g *Shards) ControlAt(t Time, fn func()) {
 // now+d.
 func (g *Shards) After(d Time, fn func()) { g.ControlAt(g.now+d, fn) }
 
-// edge performs the single-threaded window-edge work: hooks, due
-// control actions, and boundary-queue drains.
+// edge performs the single-threaded window-edge work: hooks and due
+// control actions. Boundary-queue drains follow as a parallel phase
+// (jobDrain) — after control, exactly where the serial drain sat, so
+// the bucket-insertion order of control-scheduled events versus
+// boundary arrivals at equal timestamps is unchanged.
 func (g *Shards) edge() {
 	if g.PreControl != nil {
 		g.PreControl(g.now)
@@ -195,21 +277,29 @@ func (g *Shards) edge() {
 	if g.PostControl != nil {
 		g.PostControl(g.now)
 	}
-	for dst := range g.boxes {
-		k := g.ks[dst]
-		for src := range g.boxes[dst] {
-			q := g.boxes[dst][src]
-			for i := range q {
-				e := &q[i]
-				if e.When < g.now {
-					panic(fmt.Sprintf("sim: boundary event at %d violates lookahead (edge %d, window %d)",
-						e.When, g.now, g.window))
-				}
-				k.AtEvent(e.When, e.H, e.A0, e.A1, e.P)
+}
+
+// drain schedules shard dst's pending boundary events into its kernel,
+// scanning only the active source pairs in ascending order — the same
+// relative order as the dense scan, since inactive queues are always
+// empty. Runs in the jobDrain phase: each shard's owner worker writes
+// only that shard's kernel and reads queues the previous window's
+// barrier already published, so the phase is race-free and its
+// parallelism cannot reorder anything.
+func (g *Shards) drain(dst int) {
+	k := g.ks[dst]
+	for _, src := range g.srcs[dst] {
+		q := g.boxes[dst][src]
+		for i := range q {
+			e := &q[i]
+			if e.When < g.now {
+				panic(fmt.Sprintf("sim: boundary event at %d violates lookahead (edge %d, window %d)",
+					e.When, g.now, g.window))
 			}
-			clear(q)
-			g.boxes[dst][src] = q[:0]
+			k.AtEvent(e.When, e.H, e.A0, e.A1, e.P)
 		}
+		clear(q)
+		g.boxes[dst][src] = q[:0]
 	}
 }
 
@@ -231,6 +321,7 @@ func (g *Shards) Run(until Time) {
 	}
 	for {
 		g.edge()
+		g.parallel(jobDrain, 0, single)
 		if len(g.preWindow) > 0 {
 			g.parallel(jobPre, 0, single)
 		}
@@ -344,6 +435,8 @@ func (g *Shards) doWork(w int, kind uint8, bound Time) {
 			g.ks[shard].RunWindow(bound)
 		case jobRunFinal:
 			g.ks[shard].Run(bound)
+		case jobDrain:
+			g.drain(shard)
 		case jobPre:
 			for _, fn := range g.preWindow {
 				fn(shard)

@@ -1,6 +1,11 @@
 package snoop
 
-import "testing"
+import (
+	"testing"
+
+	"specsimp/internal/coherence"
+	"specsimp/internal/sim"
+)
 
 // TestScaledBusConfig pins the address-network scaling model: the flat
 // diameter-scaled bus up to 64 nodes (bit-identical to the historical
@@ -10,22 +15,34 @@ func TestScaledBusConfig(t *testing.T) {
 	if got, want := ScaledBusConfig(4, 4), DefaultBusConfig(16); got != want {
 		t.Fatalf("4x4 diverged from DefaultBusConfig: %+v vs %+v", got, want)
 	}
+	// The uncontended end-to-end latency (collect leg + ordering-to-
+	// delivery leg) must match the historical flat formula at every
+	// size: segmenting decomposed the pipeline, it did not re-price it.
 	cases := []struct {
-		w, h    int
-		deliver int64
+		w, h       int
+		total      int64
+		segmented  bool
+		segR, segC int
 	}{
-		{4, 4, 25},   // flat: 5 + 5*(2+2)
-		{8, 8, 45},   // flat: 5 + 5*(4+4) — the 64-node ceiling, unchanged
-		{16, 16, 95}, // segmented: 5 + 5*8 (to hub) + 5*2 (hub ring) + 5*8 (fan-out)
-		{32, 32, 5 + 40 + 20 + 40},
+		{4, 4, 25, false, 0, 0},                // flat: 5 + 5*(2+2)
+		{8, 8, 45, false, 0, 0},                // flat: 5 + 5*(4+4) — the 64-node ceiling, unchanged
+		{16, 16, 95, true, 2, 2},               // 5 + 5*8 (to hub) + 5*2 (hub ring) + 5*8 (fan-out)
+		{32, 32, 5 + 40 + 20 + 40, true, 4, 4}, // 8×8 segments
 	}
 	for _, c := range cases {
 		cfg := ScaledBusConfig(c.w, c.h)
 		if cfg.Nodes != c.w*c.h {
 			t.Errorf("%dx%d: nodes %d", c.w, c.h, cfg.Nodes)
 		}
-		if int64(cfg.DeliverLatency) != c.deliver {
-			t.Errorf("%dx%d: deliver latency %d, want %d", c.w, c.h, cfg.DeliverLatency, c.deliver)
+		if got := int64(cfg.CollectLatency + cfg.DeliverLatency); got != c.total {
+			t.Errorf("%dx%d: end-to-end latency %d, want %d", c.w, c.h, got, c.total)
+		}
+		if cfg.Segmented() != c.segmented || cfg.SegRows != c.segR || cfg.SegCols != c.segC {
+			t.Errorf("%dx%d: segments %dx%d (segmented=%v), want %dx%d (%v)",
+				c.w, c.h, cfg.SegRows, cfg.SegCols, cfg.Segmented(), c.segR, c.segC, c.segmented)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%dx%d: config invalid: %v", c.w, c.h, err)
 		}
 		if cfg.ArbInterval != 5 {
 			t.Errorf("%dx%d: arb interval %d", c.w, c.h, cfg.ArbInterval)
@@ -33,10 +50,88 @@ func TestScaledBusConfig(t *testing.T) {
 	}
 	prev := ScaledBusConfig(2, 2).DeliverLatency
 	for _, side := range []int{4, 8, 12, 16, 24, 32} {
-		d := ScaledBusConfig(side, side).DeliverLatency
+		cfg := ScaledBusConfig(side, side)
+		d := cfg.CollectLatency + cfg.DeliverLatency
 		if d < prev {
 			t.Fatalf("delivery latency not monotone at %dx%d: %d < %d", side, side, d, prev)
 		}
 		prev = d
+	}
+}
+
+// orderLog records every broadcast an observer sees, for asserting the
+// segmented bus's global-order guarantees.
+type orderLog struct {
+	seqs  []uint64
+	froms []coherence.NodeID
+}
+
+func (l *orderLog) OnOrdered(seq uint64, msg coherence.Msg) {
+	l.seqs = append(l.seqs, seq)
+	l.froms = append(l.froms, msg.From)
+}
+
+// TestSegmentedBusOrdering drives the segmented address network as a
+// simulated component: hub-arrival order (not submit order) assigns
+// sequence numbers, every observer sees the one total order with
+// strictly increasing delivery times, local arbiters serialize
+// same-segment submissions, and Reset drops requests still in local
+// arbitration or in flight to the hub.
+func TestSegmentedBusOrdering(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := ScaledBusConfig(16, 16) // 2x2 segments of 8x8 nodes
+	if !cfg.Segmented() {
+		t.Fatal("16x16 bus config is not segmented")
+	}
+	b := NewBus(k, cfg)
+	logs := [2]orderLog{}
+	b.Attach(&logs[0])
+	b.Attach(&logs[1])
+
+	// Node 0 is in segment 0. Node 255 (x=15, y=15) is in segment 3 —
+	// same CollectLatency, so with both submitted at t=0 the hub breaks
+	// the tie in submit order. Nodes 1..3 (segment 0) contend with node
+	// 0 for the local arbiter, arriving at the hub one SegArbInterval
+	// apart, so a later submit from an idle segment's node 255 would
+	// overtake them — exercised by submitting it after the segment-0
+	// burst.
+	for _, n := range []coherence.NodeID{0, 1, 2, 3} {
+		b.Submit(coherence.Msg{From: n})
+	}
+	b.Submit(coherence.Msg{From: 255})
+	k.Run(1_000)
+
+	wantFrom := []coherence.NodeID{0, 255, 1, 2, 3}
+	for i := range logs {
+		if len(logs[i].seqs) != 5 {
+			t.Fatalf("observer %d saw %d broadcasts, want 5", i, len(logs[i].seqs))
+		}
+		for j, s := range logs[i].seqs {
+			if s != uint64(j) {
+				t.Fatalf("observer %d saw seq %d at position %d", i, s, j)
+			}
+		}
+		for j, f := range logs[i].froms {
+			if f != wantFrom[j] {
+				t.Fatalf("observer %d order %v, want %v", i, logs[i].froms, wantFrom)
+			}
+		}
+	}
+	if got := b.Ordered(); got != 5 {
+		t.Fatalf("Ordered() = %d, want 5", got)
+	}
+
+	// Reset mid-flight: submit, reset before the collect leg lands,
+	// and verify the request is dropped at the hub.
+	b.Submit(coherence.Msg{From: 7})
+	b.Reset()
+	k.Run(k.Now() + 1_000)
+	if got := b.Ordered(); got != 5 {
+		t.Fatalf("request submitted before Reset was ordered anyway: Ordered() = %d", got)
+	}
+	b.Submit(coherence.Msg{From: 9})
+	k.Run(k.Now() + 1_000)
+	if got := b.Ordered(); got != 6 {
+		t.Fatalf("bus dead after Reset: Ordered() = %d, want 6", got)
 	}
 }

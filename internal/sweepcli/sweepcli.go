@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +26,27 @@ import (
 	"specsimp/internal/workload"
 )
 
+// ParseShards parses the -shards flag's two forms: "N" requests N
+// tiles with the grid shape auto-factored per design point, "RxC"
+// (e.g. "4x2") pins the tile grid to R rows by C columns and requests
+// R*C tiles. Shared by cmd/sweep and cmd/specsim so the two CLIs stay
+// in sync.
+func ParseShards(s string) (shards, rows, cols int, err error) {
+	if r, c, ok := strings.Cut(strings.ToLower(s), "x"); ok {
+		rows, rerr := strconv.Atoi(r)
+		cols, cerr := strconv.Atoi(c)
+		if rerr != nil || cerr != nil || rows < 1 || cols < 1 {
+			return 0, 0, 0, fmt.Errorf("-shards %q: a tile-grid shape is RxC with positive rows and columns, e.g. 4x2", s)
+		}
+		return rows * cols, rows, cols, nil
+	}
+	n, nerr := strconv.Atoi(s)
+	if nerr != nil || n < 1 {
+		return 0, 0, 0, fmt.Errorf("-shards %q: want a tile count >= 1 or a tile-grid shape RxC (1 means serial)", s)
+	}
+	return n, 0, 0, nil
+}
+
 // Run executes one sweep invocation with the given command-line
 // arguments (without the program name), writing tables or JSON
 // summaries to w. It is cmd/sweep's entire body; see that command's
@@ -33,11 +55,11 @@ func Run(args []string, w io.Writer) error {
 	startedAt := time.Now().UTC()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, slowstart, deflection, reenable, checkpoint, availability, all")
+		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, scale1024, slowstart, deflection, reenable, checkpoint, availability, all")
 		quick    = fs.Bool("quick", false, "bench-sized parameters (faster, noisier)")
 		wlName   = fs.String("workload", "oltp", "workload for reorder/buffers/ablations")
 		parallel = fs.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
-		shards   = fs.Int("shards", 1, "INTRA-run parallelism for shard-capable design points (the scale64 directory machines): each single run partitions its torus into N column-strip shards advancing in conservative lockstep windows. Results and artifacts are byte-identical for every value; per point the count is clamped to the largest divisor of the torus width, and snooping points always simulate serially (ordered bus). Must be >= 1.")
+		shards   = fs.String("shards", "1", "INTRA-run parallelism for shard-capable design points (the scale64/scale1024 directory machines): each single run partitions its torus into tiles advancing in conservative lockstep windows. 'N' requests N tiles (auto-factored into a near-square RxC grid per point); 'RxC' pins the tile-grid shape, e.g. 4x2 = 4 rows of 2 columns. Results and artifacts are byte-identical for every count and shape; per point an unfit request is clamped to the largest legal tiling, and snooping points always simulate serially (ordered bus).")
 		out      = fs.String("out", "", "artifact directory for CSV+JSON results ('auto' = run dir under sweep-runs/, empty = none)")
 		runID    = fs.String("run-id", "", "name for this run: with -out auto the artifacts land in sweep-runs/run-<id>, and the manifest records the id instead of a wall-clock start time, making the whole artifact tree byte-reproducible (empty = timestamped dir and started_at in the manifest)")
 		asJSON   = fs.Bool("json", false, "print JSON summaries to stdout instead of tables")
@@ -50,10 +72,11 @@ func Run(args []string, w io.Writer) error {
 	if *quick {
 		p = specsimp.QuickParams()
 	}
-	if *shards < 1 {
-		return fmt.Errorf("-shards must be at least 1, got %d (intra-run shard counts partition a single simulation; 1 means serial)", *shards)
+	n, rows, cols, err := ParseShards(*shards)
+	if err != nil {
+		return err
 	}
-	p.Shards = *shards
+	p.Shards, p.ShardRows, p.ShardCols = n, rows, cols
 	wl, ok := specsimp.WorkloadByName(*wlName)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", *wlName)
@@ -153,6 +176,15 @@ func Run(args []string, w io.Writer) error {
 			res := specsimp.ScaleSweep(p)
 			if !*asJSON {
 				fmt.Fprintln(w, specsimp.ScaleTable(res))
+			}
+			return res
+		})
+	}
+	if all || *exp == "scale1024" {
+		run("scale1024", "Scaling study: 4x4 -> 32x32 (1024 nodes) on 2D torus tiles (oltp)", func() interface{} {
+			res := specsimp.Scale1024Sweep(p)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.Scale1024Table(res))
 			}
 			return res
 		})

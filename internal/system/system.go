@@ -10,6 +10,7 @@ package system
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"specsimp/internal/coherence"
@@ -65,15 +66,24 @@ type Config struct {
 	Nodes int
 
 	// Shards selects conservative-window parallel intra-run simulation
-	// for directory kinds: the torus splits into that many column
-	// strips, each running its own event kernel, synchronized every
+	// for directory kinds: the torus splits into an R×C grid of tiles,
+	// each running its own event kernel, synchronized every
 	// MinHopLatency cycles (see DESIGN.md "Parallel intra-run DES").
-	// Results are bit-identical at every shard count >= 1, including 1
-	// (the serial execution of the same windowed schedule). 0 — the
-	// default — is the classic single-kernel path. Shards must divide
-	// the torus width; snooping kinds (globally ordered bus) support
-	// only 0 or 1, both meaning the classic path.
+	// The grid is auto-factored from the count (TileGrid: tiles as
+	// close to square as the geometry admits) unless ShardRows and
+	// ShardCols pin it explicitly. Results are bit-identical at every
+	// tile count >= 1 and every tile shape, including 1 (the serial
+	// execution of the same windowed schedule). 0 — the default — is
+	// the classic single-kernel path. The grid must divide the torus
+	// (rows the height, columns the width); snooping kinds (globally
+	// ordered bus) support only 0 or 1, both meaning the classic path.
 	Shards int
+
+	// ShardRows and ShardCols optionally pin the tile-grid
+	// factorization (R rows × C columns). Zero means auto-factor from
+	// Shards. When both are set and Shards is zero, Shards is derived
+	// as their product; when Shards is also set, the product must match.
+	ShardRows, ShardCols int
 
 	Net network.Config
 	Bus snoop.BusConfig // snooping address network
@@ -289,11 +299,20 @@ func (s *System) AuditInvariants() error {
 	return s.Snoop.AuditInvariants()
 }
 
-// MaxSnoopNodes caps snooping systems: every ordered request is
-// broadcast to every node, so past this size the model measures address-
-// network serialization rather than protocol behavior. The directory
-// kinds scale further (sharer-set formats permitting).
-const MaxSnoopNodes = 64
+// MaxSnoopNodes caps snooping systems on a flat bus: every ordered
+// request is broadcast to every node, so past this size the model
+// measures address-network serialization rather than protocol behavior.
+// The segmented address network (snoop.BusConfig with segments, as
+// ScaledBusConfig builds past 64 nodes) stretches the credible range to
+// MaxSegmentedSnoopNodes: local segment arbiters absorb the request
+// traffic and only segment winners cross the ordered hub ring. Beyond
+// that even a segmented broadcast saturates — every ordered request
+// still reaches every node — and only the directory kinds scale further
+// (sharer-set formats permitting).
+const (
+	MaxSnoopNodes          = 64
+	MaxSegmentedSnoopNodes = 256
+)
 
 // ValidateConfig reports whether cfg describes a buildable machine:
 // network geometry, node-count agreement, the directory sharer-set
@@ -320,8 +339,16 @@ func ValidateConfig(cfg Config) error {
 		}
 		return directoryConfigFor(cfg).Validate()
 	}
+	if cfg.Nodes > MaxSegmentedSnoopNodes {
+		return fmt.Errorf("system: snooping systems cap at %d nodes even on the segmented address network (every ordered request still reaches every node); %d nodes needs a directory kind", MaxSegmentedSnoopNodes, cfg.Nodes)
+	}
 	if cfg.Nodes > MaxSnoopNodes {
-		return fmt.Errorf("system: snooping systems cap at %d nodes (every ordered request reaches every node); %d nodes needs a directory kind", MaxSnoopNodes, cfg.Nodes)
+		if !cfg.Bus.Segmented() {
+			return fmt.Errorf("system: a flat snooping bus caps at %d nodes; %d nodes needs the segmented address network (snoop.ScaledBusConfig) or a directory kind", MaxSnoopNodes, cfg.Nodes)
+		}
+		if err := cfg.Bus.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -337,6 +364,9 @@ func normalizeConfig(cfg Config) Config {
 	if cfg.derivedTimeout != 0 && cfg.TimeoutCycles == cfg.derivedTimeout {
 		cfg.TimeoutCycles = 3 * cfg.CheckpointInterval
 		cfg.derivedTimeout = cfg.TimeoutCycles
+	}
+	if cfg.Shards == 0 && cfg.ShardRows > 0 && cfg.ShardCols > 0 {
+		cfg.Shards = cfg.ShardRows * cfg.ShardCols
 	}
 	return cfg
 }
@@ -361,25 +391,68 @@ func validateFaults(cfg Config) error {
 	return nil
 }
 
-// validateShards checks the intra-run sharding request (Config.Shards)
-// against the machine: shard count versus torus geometry, protocol
-// kind, and the network features sharding can support.
+// validateShards checks the intra-run sharding request (Config.Shards,
+// optionally pinned by ShardRows×ShardCols) against the machine: tile
+// grid versus torus geometry, protocol kind, and the network features
+// sharding can support. Run after normalizeConfig, which derives Shards
+// from an explicit grid.
 func validateShards(cfg Config) error {
+	w, h := cfg.Net.Width, cfg.Net.Height
 	switch {
 	case cfg.Shards < 0:
 		return fmt.Errorf("system: Shards must be non-negative, got %d", cfg.Shards)
+	case (cfg.ShardRows > 0) != (cfg.ShardCols > 0) || cfg.ShardRows < 0 || cfg.ShardCols < 0:
+		return fmt.Errorf("system: ShardRows and ShardCols must be set together as a positive R×C grid, got %dx%d", cfg.ShardRows, cfg.ShardCols)
+	case cfg.ShardRows > 0 && cfg.ShardRows*cfg.ShardCols != cfg.Shards:
+		return fmt.Errorf("system: explicit %dx%d tile grid is %d tiles but Shards is %d", cfg.ShardRows, cfg.ShardCols, cfg.ShardRows*cfg.ShardCols, cfg.Shards)
 	case cfg.Shards <= 1 && !cfg.Kind.IsDirectory():
 		return nil // 0 and 1 are the classic serial path for snooping kinds
 	case cfg.Shards == 0:
 		return nil
 	case !cfg.Kind.IsDirectory():
 		return fmt.Errorf("system: %d intra-run shards requested but %s simulates serially: the snooping bus is a single globally ordered resource (use -shards 1, or a directory kind)", cfg.Shards, cfg.Kind)
-	case cfg.Net.Width%cfg.Shards != 0:
-		return fmt.Errorf("system: %d shards do not divide the %dx%d torus into equal column strips (shards must divide the width %d)", cfg.Shards, cfg.Net.Width, cfg.Net.Height, cfg.Net.Width)
+	case cfg.ShardRows > 0 && (h%cfg.ShardRows != 0 || w%cfg.ShardCols != 0):
+		return fmt.Errorf("system: a %dx%d tile grid does not divide the %dx%d torus (rows must divide the height %d, columns the width %d); %s", cfg.ShardRows, cfg.ShardCols, w, h, h, w, tileGridHint(w, h, cfg.Shards))
 	case cfg.Net.BufferSize != 0 || cfg.Net.EndpointBufferSize != 0:
 		return fmt.Errorf("system: intra-run sharding requires unlimited network buffering (zero-latency credit returns have no conservative lookahead); this network has BufferSize=%d EndpointBufferSize=%d", cfg.Net.BufferSize, cfg.Net.EndpointBufferSize)
 	}
+	if cfg.ShardRows == 0 {
+		if _, _, ok := TileGrid(w, h, cfg.Shards); !ok {
+			return fmt.Errorf("system: %d shards admit no R×C tile grid on the %dx%d torus (rows must divide the height %d, columns the width %d); %s", cfg.Shards, w, h, h, w, tileGridHint(w, h, cfg.Shards))
+		}
+	}
 	return nil
+}
+
+// tileGridHint renders the legal tile factorizations near a requested
+// count for an error message: the grids of the requested count if any
+// exist, otherwise the legal counts (with their grids) around it.
+func tileGridHint(w, h, shards int) string {
+	if opts := tileOptions(w, h, shards); len(opts) > 0 {
+		return fmt.Sprintf("legal %d-tile grids: %s", shards, strings.Join(opts, " "))
+	}
+	var counts []string
+	for n := 1; n <= w*h && len(counts) < 8; n++ {
+		if opts := tileOptions(w, h, n); len(opts) > 0 {
+			counts = append(counts, fmt.Sprintf("%d (%s)", n, strings.Join(opts, " ")))
+		}
+	}
+	return "legal tile counts: " + strings.Join(counts, ", ") + ", …"
+}
+
+// tileOptions lists every R×C factorization of `shards` tiles that
+// divides a w×h torus, as "RxC" strings in ascending row order.
+func tileOptions(w, h, shards int) []string {
+	var opts []string
+	for r := 1; r <= shards; r++ {
+		if shards%r != 0 || h%r != 0 {
+			continue
+		}
+		if c := shards / r; w%c == 0 {
+			opts = append(opts, fmt.Sprintf("%dx%d", r, c))
+		}
+	}
+	return opts
 }
 
 // directoryConfigFor derives the directory protocol configuration for a

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"specsimp/internal/directory"
+	"specsimp/internal/snoop"
 	"specsimp/internal/workload"
 )
 
@@ -34,11 +35,23 @@ func TestValidateOversizeMachines(t *testing.T) {
 		t.Fatal("BuildChecked accepted a 256-node bitmap machine")
 	}
 
-	// Snooping systems cap at 64 nodes regardless of bus model.
-	snoop := DefaultConfigSized(SnoopSpec, workload.Uniform, 16, 16)
-	err = ValidateConfig(snoop)
+	// Snooping at 256 nodes rides the segmented address network
+	// (ScaledBusConfig) and validates; on a flat bus it still caps at
+	// 64 nodes, and past 256 nodes no bus model helps.
+	segSnoop := DefaultConfigSized(SnoopSpec, workload.Uniform, 16, 16)
+	if err := ValidateConfig(segSnoop); err != nil {
+		t.Fatalf("snooping at 256 nodes on the segmented bus rejected: %v", err)
+	}
+	flat := segSnoop
+	flat.Bus = snoop.DefaultBusConfig(256)
+	err = ValidateConfig(flat)
+	if err == nil || !strings.Contains(err.Error(), "flat snooping bus") {
+		t.Fatalf("256-node snooping on a flat bus: got %v, want flat-bus-cap error", err)
+	}
+	huge := DefaultConfigSized(SnoopSpec, workload.Uniform, 32, 32)
+	err = ValidateConfig(huge)
 	if err == nil || !strings.Contains(err.Error(), "directory kind") {
-		t.Fatalf("snooping at 256 nodes: got %v, want snoop-cap error", err)
+		t.Fatalf("snooping at 1024 nodes: got %v, want snoop-cap error", err)
 	}
 
 	// Network geometry problems propagate as errors too (historically a
@@ -55,16 +68,17 @@ func TestValidateOversizeMachines(t *testing.T) {
 }
 
 // TestRunOneCheckedRejectsOversizeSnoop pins the end-to-end error
-// path: running a 256-node snooping machine returns the descriptive
-// snoop-cap error — no panic, no partial construction — which is what
-// the sweep engine's per-design-point error column relies on.
+// path: running a 1024-node snooping machine (past even the segmented
+// address network's ceiling) returns the descriptive snoop-cap error —
+// no panic, no partial construction — which is what the sweep engine's
+// per-design-point error column relies on.
 func TestRunOneCheckedRejectsOversizeSnoop(t *testing.T) {
-	cfg := DefaultConfigSized(SnoopSpec, workload.Uniform, 16, 16)
+	cfg := DefaultConfigSized(SnoopSpec, workload.Uniform, 32, 32)
 	_, err := RunOneChecked(cfg, 10_000)
 	if err == nil {
-		t.Fatal("RunOneChecked accepted a 256-node snooping machine")
+		t.Fatal("RunOneChecked accepted a 1024-node snooping machine")
 	}
-	for _, want := range []string{"64 nodes", "directory kind"} {
+	for _, want := range []string{"256 nodes", "directory kind"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q not descriptive: missing %q", err, want)
 		}

@@ -210,13 +210,16 @@ var (
 	BufferTable     = experiments.BufferTable
 	ScaleSweep      = experiments.ScaleSweep
 	ScaleTable      = experiments.ScaleTable
+	Scale1024Sweep  = experiments.Scale1024Sweep
+	Scale1024Table  = experiments.Scale1024Table
 )
 
 // DefaultConfigSized returns the Table 2 system scaled to a w×h torus.
-// Directory systems scale to 16×16 (256 nodes) — the sharer-set format
+// Directory systems scale to 32×32 (1024 nodes) — the sharer-set format
 // is picked from the geometry (exact bitmap up to 64 nodes,
-// limited-pointer with broadcast overflow beyond); snooping systems cap
-// at 64 nodes (ValidateConfig reports why).
+// limited-pointer with broadcast overflow beyond); snooping systems run
+// a flat bus to 64 nodes and the segmented address network to 256
+// (ValidateConfig reports why past that).
 func DefaultConfigSized(kind Kind, wl Workload, w, h int) Config {
 	return system.DefaultConfigSized(kind, wl, w, h)
 }
