@@ -62,6 +62,22 @@ func BenchmarkTable3Workloads(b *testing.B) {
 	}
 }
 
+// BenchmarkZipfStream measures the workload-realism hot path: one
+// reference of a Zipf-skewed, phase-shifting stream (Hörmann
+// rejection-inversion sample + Feistel block permutation + phase
+// offset). Tracked in BENCH_kernel.json; must stay allocation-free.
+func BenchmarkZipfStream(b *testing.B) {
+	wl := OLTP
+	wl.ZipfSkew = 1.1
+	wl.PhaseLen = 2048
+	g := workload.New(wl, 0, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Peek()
+		g.Advance()
+	}
+}
+
 // BenchmarkFig1Reorder covers Figure 1: the adaptive network reordering
 // two same-source messages under congestion.
 func BenchmarkFig1Reorder(b *testing.B) {

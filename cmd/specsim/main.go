@@ -24,7 +24,7 @@ func main() {
 
 	var (
 		kindName = flag.String("kind", "directory-spec", "system kind: directory-full, directory-spec, snoop-full, snoop-spec")
-		wlName   = flag.String("workload", "oltp", "workload: oltp, jbb, apache, slashcode, barnes, uniform, hotspot")
+		wlName   = flag.String("workload", "oltp", "workload: oltp, jbb, apache, slashcode, barnes, uniform, hotspot, the sharing idioms (migratory, ring, scan, broadcast), or trace:<path> to replay a recorded trace")
 		cycles   = flag.Uint64("cycles", 2_000_000, "simulated cycles to run")
 		runs     = flag.Int("runs", 1, "perturbed runs (paper §5.2 methodology)")
 		seed     = flag.Uint64("seed", 1, "base random seed")
@@ -34,6 +34,7 @@ func main() {
 		inject   = flag.Uint64("inject", 0, "inject a recovery every N cycles (0 = off)")
 		interval = flag.Uint64("interval", 0, "checkpoint interval override in cycles")
 		shards   = flag.String("shards", "0", "INTRA-run parallelism: partition this run's torus into tiles advancing in conservative lockstep windows (directory kinds on unlimited-buffer networks only). 'N' requests N tiles auto-factored into a near-square RxC grid; 'RxC' (e.g. 2x2) pins the grid shape — rows must divide the torus height, columns its width. Results are bit-identical for every count and shape >= 1 tile. 0 = classic serial path. Note -runs parallelizes ACROSS perturbed runs instead, one kernel each.")
+		recTrace = flag.String("record-trace", "", "record the streams this run consumes to the given trace file (single run only; replay with -workload trace:<path>)")
 	)
 	flag.Parse()
 
@@ -41,9 +42,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wl, ok := specsimp.WorkloadByName(*wlName)
-	if !ok {
-		log.Fatalf("unknown workload %q", *wlName)
+	wl, err := specsimp.ResolveWorkload(*wlName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := specsimp.DefaultConfig(kind, wl)
 	cfg.Seed = *seed
@@ -79,8 +80,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *recTrace != "" {
+		if *runs > 1 {
+			log.Fatal("-record-trace records a single run; drop -runs")
+		}
+		cfg.Recorder = specsimp.NewTraceRecorder(wl.Name, cfg.Nodes)
+	}
 	if *runs <= 1 {
-		report(specsimp.RunOne(cfg, specsimp.Time(*cycles)))
+		r := specsimp.RunOne(cfg, specsimp.Time(*cycles))
+		if cfg.Recorder != nil {
+			if err := cfg.Recorder.Trace().WriteFile(*recTrace); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace:         recorded to %s\n", *recTrace)
+		}
+		report(r)
 		return
 	}
 	pr := specsimp.RunPerturbed(cfg, *runs, specsimp.Time(*cycles))

@@ -505,3 +505,118 @@ func TestAvailabilitySweepShardDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkloadsDriver checks the workload-realism study's shape: the
+// full grid runs on both speculative protocols, every cell lands, and
+// the skew/phase axes show up in the rows.
+func TestWorkloadsDriver(t *testing.T) {
+	p := tiny()
+	p.Cycles = 50_000
+	p.Runs = 1
+	res := Workloads(p, workload.OLTP)
+	grid := workloadsGrid(workload.OLTP)
+	if want := 2 * len(grid); len(res) != want {
+		t.Fatalf("rows=%d, want %d (grid=%d x 2 kinds)", len(res), want, len(grid))
+	}
+	idioms, skewed, phased := map[string]bool{}, false, false
+	for _, r := range res {
+		if r.Err != "" {
+			t.Fatalf("%s/%s idiom=%s skew=%g phase=%d errored: %s", r.Kind, r.Workload, r.Idiom, r.Skew, r.Phase, r.Err)
+		}
+		if r.Perf.Mean <= 0 {
+			t.Fatalf("%s/%s idiom=%s: no forward progress", r.Kind, r.Workload, r.Idiom)
+		}
+		idioms[r.Idiom] = true
+		skewed = skewed || r.Skew > 0
+		phased = phased || r.Phase > 0
+	}
+	if len(idioms) != 5 || !skewed || !phased {
+		t.Fatalf("grid axes incomplete: idioms=%v skewed=%v phased=%v", idioms, skewed, phased)
+	}
+	table := WorkloadsTable(res)
+	for _, want := range []string{"oltp", "migratory", "ring", "scan", "broadcast", "zipf s"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestWorkloadsTraceCollapsesGrid: a trace replay has no skew/phase/idiom
+// knobs, so the study collapses to its single recorded stream per
+// protocol (and the full grid keeps its documented 18 shapes).
+func TestWorkloadsTraceCollapsesGrid(t *testing.T) {
+	if got := len(workloadsGrid(workload.OLTP)); got != 18 {
+		t.Fatalf("full grid has %d variants, want 18", got)
+	}
+	cfg := system.DefaultConfig(system.DirectorySpec, workload.Uniform)
+	cfg.Recorder = workload.NewTraceRecorder(cfg.Workload.Name, cfg.Nodes)
+	system.RunOne(cfg, 20_000)
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := cfg.Recorder.Trace().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.FromTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := workloadsGrid(wl); len(got) != 1 || got[0] != (wlVariant{}) {
+		t.Fatalf("trace grid = %v, want the single recorded shape", got)
+	}
+	p := tiny()
+	p.Cycles = 30_000
+	p.Runs = 1
+	res := Workloads(p, wl)
+	if len(res) != 2 {
+		t.Fatalf("trace study rows=%d, want 1 per protocol", len(res))
+	}
+	for _, r := range res {
+		if r.Err != "" || r.Perf.Mean <= 0 {
+			t.Fatalf("trace replay cell failed: %+v", r)
+		}
+		if r.Workload != wl.Name {
+			t.Fatalf("row workload %q, want %q", r.Workload, wl.Name)
+		}
+	}
+}
+
+// TestWorkloadsSweepShardDeterminism: the workloads artifacts are
+// byte-identical for every -shards value — the CI parallel-determinism
+// lane's byte-diff in test form.
+func TestWorkloadsSweepShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workloads grid is slow; the CI lane runs it at full size")
+	}
+	p := tiny()
+	p.Cycles = 20_000
+	p.Runs = 1
+	shardCounts := []int{1, 2, 4}
+	dirs := make([]string, len(shardCounts))
+	for i, shards := range shardCounts {
+		dirs[i] = t.TempDir()
+		sink, err := runner.NewSink(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Shards = shards
+		p.Exec = &runner.Runner{Workers: 1 + i, Sink: sink}
+		Workloads(p, workload.OLTP)
+		if err := sink.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"workloads.csv", "workloads.json"} {
+		ref, err := os.ReadFile(filepath.Join(dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(dirs); i++ {
+			got, err := os.ReadFile(filepath.Join(dirs[i], name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("%s differs between -shards %d and -shards %d", name, shardCounts[0], shardCounts[i])
+			}
+		}
+	}
+}

@@ -55,9 +55,9 @@ func Run(args []string, w io.Writer) error {
 	startedAt := time.Now().UTC()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, scale1024, slowstart, deflection, reenable, checkpoint, availability, all")
+		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, scale1024, slowstart, deflection, reenable, checkpoint, availability, workloads, all")
 		quick    = fs.Bool("quick", false, "bench-sized parameters (faster, noisier)")
-		wlName   = fs.String("workload", "oltp", "workload for reorder/buffers/ablations")
+		wlName   = fs.String("workload", "oltp", "workload for reorder/buffers/ablations/workloads — any registered name or trace:<path>")
 		parallel = fs.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
 		shards   = fs.String("shards", "1", "INTRA-run parallelism for shard-capable design points (the scale64/scale1024 directory machines): each single run partitions its torus into tiles advancing in conservative lockstep windows. 'N' requests N tiles (auto-factored into a near-square RxC grid per point); 'RxC' pins the tile-grid shape, e.g. 4x2 = 4 rows of 2 columns. Results and artifacts are byte-identical for every count and shape; per point an unfit request is clamped to the largest legal tiling, and snooping points always simulate serially (ordered bus).")
 		out      = fs.String("out", "", "artifact directory for CSV+JSON results ('auto' = run dir under sweep-runs/, empty = none)")
@@ -77,9 +77,9 @@ func Run(args []string, w io.Writer) error {
 		return err
 	}
 	p.Shards, p.ShardRows, p.ShardCols = n, rows, cols
-	wl, ok := specsimp.WorkloadByName(*wlName)
-	if !ok {
-		return fmt.Errorf("unknown workload %q", *wlName)
+	wl, err := specsimp.ResolveWorkload(*wlName)
+	if err != nil {
+		return err
 	}
 
 	ex := &runner.Runner{Workers: *parallel}
@@ -237,6 +237,15 @@ func Run(args []string, w io.Writer) error {
 					fmt.Fprintf(w, "  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
 						r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
 				}
+			}
+			return res
+		})
+	}
+	if all || *exp == "workloads" {
+		run("workloads", "Workload realism: Zipf skew × phase length × sharing idiom, both Spec protocols ("+wl.Name+" base)", func() interface{} {
+			res := specsimp.Workloads(p, wl)
+			if !*asJSON {
+				fmt.Fprintln(w, specsimp.WorkloadsTable(res))
 			}
 			return res
 		})

@@ -210,6 +210,9 @@ func buildSharded(cfg Config) (*System, error) {
 	gens := make([]workload.Generator, cfg.Nodes)
 	for i := range gens {
 		gens[i] = workload.New(cfg.Workload, i, cfg.Nodes, cfg.Seed)
+		if cfg.Recorder != nil {
+			gens[i] = cfg.Recorder.Wrap(i, gens[i])
+		}
 	}
 	s.Pool = processor.NewPool(k0, cfg.Nodes, dir.Access, gens)
 	s.Pool.PartitionOnShards(grp, shardOf)

@@ -101,6 +101,12 @@ type Config struct {
 	Workload workload.Profile
 	Seed     uint64
 
+	// Recorder, when non-nil, interposes on every node's workload
+	// generator and logs the stream the run actually consumes (SafetyNet
+	// rollbacks rewind the log too). specsim -record-trace sets it and
+	// writes the result as a replayable trace file (workload/trace.go).
+	Recorder *workload.TraceRecorder
+
 	// CheckpointInterval is SafetyNet's cadence: cycles for the
 	// directory system (Table 2: 100,000), ordered requests for the
 	// snooping system (Table 2: 3,000) via SnoopCheckpointRequests.
@@ -321,6 +327,9 @@ const (
 // report (e.g. per sweep design point), not a panic mid-build.
 func ValidateConfig(cfg Config) error {
 	cfg = normalizeConfig(cfg)
+	if err := cfg.Workload.Validate(); err != nil {
+		return err
+	}
 	if err := cfg.Net.Validate(); err != nil {
 		return err
 	}
@@ -547,6 +556,9 @@ func BuildChecked(cfg Config) (*System, error) {
 	gens := make([]workload.Generator, cfg.Nodes)
 	for i := range gens {
 		gens[i] = workload.New(cfg.Workload, i, cfg.Nodes, cfg.Seed)
+		if cfg.Recorder != nil {
+			gens[i] = cfg.Recorder.Wrap(i, gens[i])
+		}
 	}
 	s.Pool = processor.NewPool(k, cfg.Nodes, access, gens)
 

@@ -1,0 +1,91 @@
+package system
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"specsimp/internal/sim"
+	"specsimp/internal/workload"
+)
+
+// recordTrace runs one system with a recorder attached and writes the
+// trace, returning the recording run's Results and the trace path.
+func recordTrace(t *testing.T, cfg Config, cycles sim.Time) (Results, string) {
+	t.Helper()
+	cfg.Recorder = workload.NewTraceRecorder(cfg.Workload.Name, cfg.Nodes)
+	res := RunOne(cfg, cycles)
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := cfg.Recorder.Trace().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return res, path
+}
+
+// TestTraceRoundTripResults records a run, replays the trace, and
+// demands the replay's Results equal the recording's — the whole
+// struct, recoveries and distributions included — modulo the workload
+// name. Both protocols, with recovery injection so the recorder's
+// rollback rewind is exercised end to end.
+func TestTraceRoundTripResults(t *testing.T) {
+	for _, kind := range []Kind{DirectorySpec, SnoopSpec} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(kind, workload.OLTP)
+			cfg.CheckpointInterval = 2_000
+			cfg.SnoopCheckpointRequests = 200
+			cfg.TimeoutCycles = 0
+			cfg.InjectRecoveryEvery = 9_000
+			rec, path := recordTrace(t, cfg, 120_000)
+			if rec.Recoveries == 0 {
+				t.Fatal("recording run had no recoveries — rollback rewind untested")
+			}
+
+			wl, err := workload.FromTrace(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayCfg := cfg
+			replayCfg.Recorder = nil
+			replayCfg.Workload = wl
+			rep := RunOne(replayCfg, 120_000)
+
+			rec.Workload, rep.Workload = "", ""
+			if !reflect.DeepEqual(rec, rep) {
+				t.Fatalf("replay Results diverged from recording:\nrec: %+v\nrep: %+v", rec, rep)
+			}
+		})
+	}
+}
+
+// TestTraceReplayShardInvariant replays one recorded trace through the
+// windowed tile engine at 1, 2, and 4 shards — all three Results must
+// be identical (the CI artifact byte-diff in test form; shards=1 is the
+// serial execution of the same windowed schedule).
+func TestTraceReplayShardInvariant(t *testing.T) {
+	cfg := DefaultConfig(DirectorySpec, workload.Hotspot)
+	cfg.CheckpointInterval = 2_000
+	cfg.TimeoutCycles = 0
+	_, path := recordTrace(t, cfg, 100_000)
+
+	wl, err := workload.FromTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recorder = nil
+	cfg.Workload = wl
+	var ref Results
+	for i, shards := range []int{1, 2, 4} {
+		c := cfg
+		c.Shards = shards
+		res := RunOne(c, 100_000)
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("trace replay at %d shards diverged from 1 shard:\nserial:  %+v\nsharded: %+v", shards, ref, res)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Sharing-idiom generators: reference streams with one sharing pattern
+// each, instead of the profiles' calibrated mixes. The protocols have
+// never seen these shapes — migratory ownership chains, producer-
+// consumer rings, all-to-all scans, single-writer broadcast — which is
+// the point: each is a row in the cross-kind invariant stress matrix
+// and an axis of the `workloads` experiment.
+//
+// Every idiom reuses the Profile knobs where they are meaningful:
+// SharedFrac mixes idiom references with private-region filler,
+// MeanThink/Burstiness/BurstLen shape timing, ZipfSkew skews the idiom's
+// object choice (migratory objects, broadcast reads), and PhaseLen
+// migrates the idiom's working window per phase. All streams stay
+// inside the usual address layout — shared blocks low, per-node private
+// regions above — so the address-bounds and disjointness properties
+// hold for every generator.
+package workload
+
+import (
+	"specsimp/internal/coherence"
+	"specsimp/internal/sim"
+)
+
+// Idiom names accepted by Profile.Idiom.
+const (
+	IdiomMigratory = "migratory"
+	IdiomRing      = "ring"
+	IdiomScan      = "scan"
+	IdiomBroadcast = "broadcast"
+)
+
+// IdiomNames lists the idiom selectors in registry order.
+var IdiomNames = []string{IdiomBroadcast, IdiomMigratory, IdiomRing, IdiomScan}
+
+// The idiom preset profiles, registered alongside the Table 3 suite.
+var (
+	// MigratoryChain: every shared reference is a read-modify-write
+	// pair on an object that then migrates — nodes walk the same object
+	// sequence from staggered starts, so ownership chains from cache to
+	// cache.
+	MigratoryChain = Profile{
+		Name:         IdiomMigratory,
+		Description:  "migratory sharing chains: RMW object sequence walked by every node",
+		Idiom:        IdiomMigratory,
+		SharedBlocks: 2048, PrivateBlocks: 1024,
+		SharedFrac: 0.5, HotBlocks: 16,
+		PrivateStoreFrac: 0.30,
+		MeanThink:        10, Burstiness: 0.03, BurstLen: 16,
+	}
+	// Ring: node i streams stores through its own ring segment while
+	// reading the segment node i-1 produces (so node i's writes are
+	// node i+1's reads).
+	Ring = Profile{
+		Name:         IdiomRing,
+		Description:  "producer-consumer ring: node i writes a segment node i+1 reads",
+		Idiom:        IdiomRing,
+		SharedBlocks: 4096, PrivateBlocks: 1024,
+		SharedFrac: 0.6, HotBlocks: 8,
+		PrivateStoreFrac: 0.30,
+		MeanThink:        8, Burstiness: 0.02, BurstLen: 12,
+	}
+	// Scan: phases of an all-to-all sequential read scan over the whole
+	// shared region alternating with private compute phases.
+	Scan = Profile{
+		Name:         IdiomScan,
+		Description:  "all-to-all scan phases: sequential shared reads alternating with private compute",
+		Idiom:        IdiomScan,
+		SharedBlocks: 4096, PrivateBlocks: 2048,
+		SharedFrac: 0.7, HotBlocks: 8,
+		StoreFrac: 0.05, PrivateStoreFrac: 0.35,
+		MeanThink: 8, Burstiness: 0.02, BurstLen: 24,
+		PhaseLen: 4096,
+	}
+	// Broadcast: node 0 rotates stores through a small block set that
+	// every other node reads — single-writer, many-reader.
+	Broadcast = Profile{
+		Name:         IdiomBroadcast,
+		Description:  "single-writer broadcast: node 0 writes a hot set all other nodes read",
+		Idiom:        IdiomBroadcast,
+		SharedBlocks: 1024, PrivateBlocks: 1024,
+		SharedFrac: 0.5, HotBlocks: 8,
+		PrivateStoreFrac: 0.30,
+		MeanThink:        10, Burstiness: 0.02, BurstLen: 16,
+	}
+)
+
+// Idioms is the sharing-idiom evaluation set in name order.
+var Idioms = []Profile{Broadcast, MigratoryChain, Ring, Scan}
+
+// idiomGen implements Generator for the four sharing idioms. One type
+// with a mode switch keeps Snapshot flat: obj and aux are the only
+// idiom-specific cursors (chain position; ring produce/consume; scan
+// index; broadcast rotation).
+type idiomGen struct {
+	p     Profile
+	node  int
+	nodes int
+	rng   *sim.RNG
+
+	zipf    zipf      // object-choice skew when p.ZipfSkew > 0
+	perm    blockPerm // seed-keyed rank → block permutation for the zipf path
+	permKey uint64
+
+	cur      Op
+	burst    int
+	migrAddr coherence.Addr
+	migrLeft int    // migratory idiom: store half pending
+	pos      uint64 // references consumed
+	obj      uint64 // primary cursor (chain object / ring produce / scan / broadcast slot)
+	aux      uint64 // secondary cursor (ring consume)
+}
+
+func newIdiomGen(p Profile, node, nodes int, seed uint64) *idiomGen {
+	if nodes < 1 {
+		nodes = 1
+	}
+	g := &idiomGen{p: p, node: node, nodes: nodes, rng: sim.NewRNG(mixSeed(seed, node))}
+	g.permKey = mix64(seed ^ 0x5eedb10c)
+	if p.ZipfSkew > 0 {
+		g.zipf = newZipf(p.ZipfSkew, p.SharedBlocks)
+		g.perm = newBlockPerm(p.SharedBlocks, g.permKey)
+	}
+	// Stagger the chain/scan starting points so nodes are spread across
+	// the shared region rather than stampeding block 0 together.
+	g.obj = uint64(node) * uint64(p.SharedBlocks) / uint64(nodes)
+	g.generate()
+	return g
+}
+
+// Name implements Generator.
+func (g *idiomGen) Name() string { return g.p.Name }
+
+// Peek implements Generator.
+func (g *idiomGen) Peek() Op { return g.cur }
+
+// Advance implements Generator.
+func (g *idiomGen) Advance() {
+	g.pos++
+	g.generate()
+}
+
+// phase returns the current phase index (0 while phases are disabled).
+func (g *idiomGen) phase() uint64 {
+	if g.p.PhaseLen == 0 {
+		return 0
+	}
+	return g.pos / g.p.PhaseLen
+}
+
+// objectBlock picks the idiom's next shared object: Zipf-skewed through
+// the seed permutation when configured, otherwise the primary cursor
+// walking the region sequentially. The phase offset migrates the
+// working window each phase.
+func (g *idiomGen) objectBlock(cursor *uint64) int {
+	p := g.p
+	off := phaseOffset(g.permKey, p.PhaseLen, g.pos, p.SharedBlocks)
+	if p.ZipfSkew > 0 {
+		rank := (g.zipf.sample(g.rng) + off) % p.SharedBlocks
+		return g.perm.apply(rank)
+	}
+	blk := int((*cursor + uint64(off)) % uint64(p.SharedBlocks))
+	*cursor++
+	return blk
+}
+
+// private fills a non-idiom reference from the node's private region.
+func (g *idiomGen) private(think sim.Time) Op {
+	p := g.p
+	base := p.SharedBlocks + g.node*p.PrivateBlocks
+	addr := coherence.Addr(base+g.rng.Intn(p.PrivateBlocks)) * coherence.BlockBytes
+	kind := coherence.Load
+	if g.rng.Bool(p.PrivateStoreFrac) {
+		kind = coherence.Store
+	}
+	return Op{Addr: addr, Kind: kind, Think: think}
+}
+
+func (g *idiomGen) generate() {
+	p := g.p
+	// Migratory store half first — a reference like any other, so it
+	// consumes a burst slot (see gen.generate).
+	if g.migrLeft > 0 {
+		g.migrLeft = 0
+		if g.burst > 0 {
+			g.burst--
+		}
+		g.cur = Op{Addr: g.migrAddr, Kind: coherence.Store, Think: 1 + sim.Time(g.rng.Intn(3))}
+		return
+	}
+	think := nextThink(g.rng, p, &g.burst)
+	if !g.rng.Bool(p.SharedFrac) {
+		g.cur = g.private(think)
+		return
+	}
+
+	switch p.Idiom {
+	case IdiomMigratory:
+		// RMW pair on the next chain object; the store half follows.
+		addr := coherence.Addr(g.objectBlock(&g.obj)) * coherence.BlockBytes
+		g.migrAddr = addr
+		g.migrLeft = 1
+		g.cur = Op{Addr: addr, Kind: coherence.Load, Think: think}
+
+	case IdiomRing:
+		// Strict produce/consume alternation: produce (store) walks the
+		// node's own segment, consume (load) walks the predecessor's —
+		// node i's stores are exactly node i+1's loads, one segment
+		// behind. The phase offset rotates every segment identically so
+		// the pairing survives phase shifts.
+		seg := p.SharedBlocks / g.nodes
+		if seg < 1 {
+			seg = 1
+		}
+		off := phaseOffset(g.permKey, p.PhaseLen, g.pos, p.SharedBlocks)
+		if g.obj <= g.aux { // produce
+			blk := (g.node*seg + int(g.obj%uint64(seg)) + off) % p.SharedBlocks
+			g.obj++
+			g.cur = Op{Addr: coherence.Addr(blk) * coherence.BlockBytes, Kind: coherence.Store, Think: think}
+		} else { // consume the upstream neighbor's segment
+			prev := (g.node + g.nodes - 1) % g.nodes
+			blk := (prev*seg + int(g.aux%uint64(seg)) + off) % p.SharedBlocks
+			g.aux++
+			g.cur = Op{Addr: coherence.Addr(blk) * coherence.BlockBytes, Kind: coherence.Load, Think: think}
+		}
+
+	case IdiomScan:
+		// Even phases scan the shared region sequentially (reads, with
+		// StoreFrac-rare updates); odd phases are private compute.
+		if p.PhaseLen > 0 && g.phase()%2 == 1 {
+			g.cur = g.private(think)
+			return
+		}
+		blk := int(g.obj % uint64(p.SharedBlocks))
+		g.obj++
+		kind := coherence.Load
+		if g.rng.Bool(p.StoreFrac) {
+			kind = coherence.Store
+		}
+		g.cur = Op{Addr: coherence.Addr(blk) * coherence.BlockBytes, Kind: kind, Think: think}
+
+	case IdiomBroadcast:
+		// Node 0 rotates stores through the hot window; everyone else
+		// reads it (Zipf-skewed toward the window's head when
+		// configured). The window itself migrates per phase.
+		hot := p.HotBlocks
+		if hot < 1 {
+			hot = 1
+		}
+		off := phaseOffset(g.permKey, p.PhaseLen, g.pos, p.SharedBlocks)
+		var slot int
+		var kind coherence.AccessType
+		if g.node == 0 {
+			slot = int(g.obj % uint64(hot))
+			g.obj++
+			kind = coherence.Store
+		} else {
+			if p.ZipfSkew > 0 {
+				slot = g.zipf.sample(g.rng) % hot
+			} else {
+				slot = g.rng.Intn(hot)
+			}
+			kind = coherence.Load
+		}
+		blk := (slot + off) % p.SharedBlocks
+		g.cur = Op{Addr: coherence.Addr(blk) * coherence.BlockBytes, Kind: kind, Think: think}
+	}
+}
+
+// Snapshot implements Generator.
+func (g *idiomGen) Snapshot() Snapshot {
+	return Snapshot{
+		rng: g.rng.Snapshot(), cur: g.cur,
+		burst: g.burst, migrAddr: g.migrAddr, migrLeft: g.migrLeft, pos: g.pos,
+		aux0: g.obj, aux1: g.aux,
+	}
+}
+
+// Restore implements Generator.
+func (g *idiomGen) Restore(s Snapshot) {
+	g.rng.Restore(s.rng)
+	g.cur = s.cur
+	g.burst = s.burst
+	g.migrAddr = s.migrAddr
+	g.migrLeft = s.migrLeft
+	g.pos = s.pos
+	g.obj = s.aux0
+	g.aux = s.aux1
+}

@@ -13,6 +13,14 @@
 // companion (Alameldeen et al., IEEE Computer 2003). DESIGN.md records
 // this substitution.
 //
+// Beyond the calibrated profiles the package provides the workload-
+// realism layer: Zipf-parameterized shared-address skew with a per-seed
+// rank-to-block permutation (zipf.go), phase-shifting hot sets
+// (Profile.PhaseLen), sharing-idiom generators — migratory chains,
+// producer-consumer rings, all-to-all scans, single-writer broadcast
+// (idioms.go) — and a compact binary trace format for bit-identical
+// record/replay (trace.go).
+//
 // Generators are deterministic functions of their seed and support
 // snapshot/restore, which SafetyNet recovery requires: a rolled-back
 // processor must replay exactly the reference stream it produced before.
@@ -20,6 +28,8 @@ package workload
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"specsimp/internal/coherence"
 	"specsimp/internal/sim"
@@ -44,7 +54,10 @@ type Generator interface {
 	Restore(Snapshot)
 }
 
-// Snapshot is an opaque generator checkpoint.
+// Snapshot is an opaque generator checkpoint. It is a flat value type
+// (no slices or pointers) so processor snapshots copy and compare
+// trivially; aux0/aux1 carry the idiom and trace generators' cursor
+// state (ring produce/consume cursors, scan index, trace byte offset).
 type Snapshot struct {
 	rng      uint64
 	cur      Op
@@ -52,6 +65,8 @@ type Snapshot struct {
 	migrAddr coherence.Addr
 	migrLeft int
 	pos      uint64
+	aux0     uint64
+	aux1     uint64
 }
 
 // Profile parameterizes the synthetic reference stream.
@@ -87,15 +102,61 @@ type Profile struct {
 	MeanThink  float64
 	Burstiness float64
 	BurstLen   int
+
+	// ZipfSkew, when > 0, draws shared-region block ranks from a Zipf
+	// distribution with this exponent instead of the uniform/hot-set
+	// split: rank r is referenced with probability ∝ 1/(r+1)^s. Ranks
+	// map to blocks through a per-seed pseudo-random permutation (shared
+	// by every node, so the hot ranks are the same contended blocks
+	// machine-wide but land on different blocks per seed).
+	ZipfSkew float64
+
+	// PhaseLen, when > 0, rotates the hot set every PhaseLen references:
+	// the hot ranks (Zipf) or the hot-block window (uniform/hot split)
+	// migrate to a new deterministic region of the shared space each
+	// phase, derived from the stream seed. 0 keeps the hot set static.
+	PhaseLen uint64
+
+	// Idiom selects a sharing-idiom generator instead of the mixed
+	// profile stream: "migratory" (read-modify-write chains walking a
+	// shared object sequence), "ring" (node i writes a ring segment that
+	// node i+1 reads), "scan" (all-to-all sequential scan phases
+	// alternating with private compute), "broadcast" (node 0 writes a
+	// small set every other node reads). Empty is the profile stream.
+	// See idioms.go.
+	Idiom string
+
+	// trace, when non-nil, makes New replay the recorded per-node
+	// streams verbatim (FromTrace / ByName "trace:<path>"); every other
+	// stream parameter above is ignored.
+	trace *Trace
 }
+
+// IsTrace reports whether the profile replays a recorded trace rather
+// than generating a synthetic stream.
+func (p Profile) IsTrace() bool { return p.trace != nil }
 
 // Validate reports obviously broken profiles.
 func (p Profile) Validate() error {
+	if p.trace != nil {
+		return nil // the trace carries its own, already-decoded streams
+	}
 	if p.SharedBlocks <= 0 || p.PrivateBlocks <= 0 {
 		return fmt.Errorf("workload %s: block counts must be positive", p.Name)
 	}
 	if p.MeanThink < 1 {
 		return fmt.Errorf("workload %s: MeanThink must be >= 1", p.Name)
+	}
+	if p.ZipfSkew < 0 {
+		return fmt.Errorf("workload %s: ZipfSkew must be >= 0", p.Name)
+	}
+	if p.ZipfSkew > 0 && p.SharedBlocks < 2 {
+		return fmt.Errorf("workload %s: ZipfSkew needs SharedBlocks >= 2", p.Name)
+	}
+	switch p.Idiom {
+	case "", IdiomMigratory, IdiomRing, IdiomScan, IdiomBroadcast:
+	default:
+		return fmt.Errorf("workload %s: unknown Idiom %q (want %s)", p.Name, p.Idiom, strings.Join(IdiomNames, ", "))
 	}
 	return nil
 }
@@ -184,14 +245,60 @@ var (
 // Suite is the paper's evaluation set in figure order.
 var Suite = []Profile{JBB, Apache, Slash, OLTP, Barnes}
 
-// ByName returns the named profile (including the calibration ones).
+// registry is the package-level name → profile table behind ByName:
+// the suite, the calibration profiles, and the sharing-idiom streams,
+// sorted by name once at init (a deterministic slice, not a map, per
+// the maporder contract) so lookups allocate nothing.
+var registry = buildRegistry()
+
+func buildRegistry() []Profile {
+	all := make([]Profile, 0, len(Suite)+2+len(Idioms))
+	all = append(all, Suite...)
+	all = append(all, Uniform, Hotspot)
+	all = append(all, Idioms...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// Names lists every registered profile name in sorted order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, p := range registry {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName returns the named profile: the suite, the calibration ones,
+// the sharing idioms, and the "trace:<path>" scheme (a recorded trace,
+// loaded from path; load failures report not-ok — Resolve keeps the
+// error). The registry lookup itself allocates nothing.
 func ByName(name string) (Profile, bool) {
-	for _, p := range append(append([]Profile{}, Suite...), Uniform, Hotspot) {
-		if p.Name == name {
-			return p, true
-		}
+	if strings.HasPrefix(name, tracePrefix) {
+		p, err := FromTrace(strings.TrimPrefix(name, tracePrefix))
+		return p, err == nil
+	}
+	i := sort.Search(len(registry), func(i int) bool { return registry[i].Name >= name })
+	if i < len(registry) && registry[i].Name == name {
+		return registry[i], true
 	}
 	return Profile{}, false
+}
+
+// tracePrefix is the ByName/Resolve scheme for recorded traces.
+const tracePrefix = "trace:"
+
+// Resolve is ByName with the failure reason: unknown names list the
+// registry, and a bad "trace:<path>" reports the decode error.
+func Resolve(name string) (Profile, error) {
+	if strings.HasPrefix(name, tracePrefix) {
+		return FromTrace(strings.TrimPrefix(name, tracePrefix))
+	}
+	if p, ok := ByName(name); ok {
+		return p, nil
+	}
+	return Profile{}, fmt.Errorf("unknown workload %q (known: %s, or trace:<path>)",
+		name, strings.Join(Names(), ", "))
 }
 
 // gen implements Generator for a Profile.
@@ -201,6 +308,10 @@ type gen struct {
 	nodes int
 	rng   *sim.RNG
 
+	zipf    zipf      // shared-rank sampler when p.ZipfSkew > 0
+	perm    blockPerm // per-seed rank → block permutation (seed-keyed, node-independent)
+	permKey uint64    // phase-offset derivation key (shared by all nodes)
+
 	cur      Op
 	burst    int // references left in the current burst
 	migrAddr coherence.Addr
@@ -208,13 +319,50 @@ type gen struct {
 	pos      uint64
 }
 
-// New builds the generator for one node. Streams for different nodes
-// and seeds are independent.
+// mixSeed derives one node's RNG seed from the run seed with a
+// SplitMix64-style finalizer. The previous derivation,
+// seed ^ (node+1)*0x9e37, was linear and low-entropy: two (seed, node)
+// pairs whose products differ by the seeds' XOR — e.g. any two seeds a
+// small multiple of 0x9e37 apart — produced identical streams. The
+// finalizer's avalanche makes every (seed, node) pair an independent
+// stream.
+func mixSeed(seed uint64, node int) uint64 {
+	z := seed + (uint64(node)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix64 is the same finalizer over a single word (phase keys,
+// permutation keys).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New builds the generator for one node: the profile stream, a
+// sharing-idiom stream (Profile.Idiom), or a trace replay
+// (Profile.trace). Streams for different nodes and seeds are
+// independent; the Zipf rank permutation and phase-offset schedule are
+// keyed on the run seed alone, so all nodes contend on the same hot
+// blocks.
 func New(p Profile, node, nodes int, seed uint64) Generator {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	g := &gen{p: p, node: node, nodes: nodes, rng: sim.NewRNG(seed ^ (uint64(node)+1)*0x9e37)}
+	if p.trace != nil {
+		return newTraceGen(p, node)
+	}
+	if p.Idiom != "" {
+		return newIdiomGen(p, node, nodes, seed)
+	}
+	g := &gen{p: p, node: node, nodes: nodes, rng: sim.NewRNG(mixSeed(seed, node))}
+	g.permKey = mix64(seed ^ 0x5eedb10c)
+	if p.ZipfSkew > 0 {
+		g.zipf = newZipf(p.ZipfSkew, p.SharedBlocks)
+		g.perm = newBlockPerm(p.SharedBlocks, g.permKey)
+	}
 	g.generate()
 	return g
 }
@@ -234,33 +382,80 @@ func (g *gen) Advance() {
 // Position returns the count of consumed operations (for tests).
 func (g *gen) Position() uint64 { return g.pos }
 
+// nextThink draws the think time of the next reference: burst
+// bookkeeping plus a geometric draw outside bursts. The reference that
+// starts a burst is itself part of the burst — it already gets the
+// near-zero think and consumes one of the BurstLen slots (previously
+// the starting reference kept its full geometric think, so every burst
+// was one slow reference followed by BurstLen fast ones). Shared by
+// the profile and idiom generators.
+func nextThink(rng *sim.RNG, p Profile, burst *int) sim.Time {
+	if *burst == 0 && rng.Bool(p.Burstiness) {
+		*burst = p.BurstLen
+	}
+	if *burst > 0 {
+		*burst--
+		return sim.Time(rng.Intn(2))
+	}
+	return sim.Time(rng.Geometric(p.MeanThink))
+}
+
+// phaseOffset is the hot-set displacement of the current phase: a
+// deterministic function of the run seed (permKey) and pos/PhaseLen,
+// identical across nodes so the whole machine's hot set migrates
+// together. 0 while phases are disabled.
+func phaseOffset(permKey uint64, phaseLen, pos uint64, sharedBlocks int) int {
+	if phaseLen == 0 {
+		return 0
+	}
+	return int(mix64(permKey^(pos/phaseLen+1)) % uint64(sharedBlocks))
+}
+
+// sharedBlock draws one shared-region block index: a Zipf rank pushed
+// through the seed-keyed permutation when ZipfSkew is set (with the hot
+// ranks re-aimed each phase), or the legacy hot-set/uniform split (with
+// the hot window migrating each phase).
+func (g *gen) sharedBlock() int {
+	p := g.p
+	if p.ZipfSkew > 0 {
+		rank := g.zipf.sample(g.rng)
+		hot := p.HotBlocks
+		if hot < 1 {
+			hot = 1
+		}
+		if rank < hot {
+			rank = (rank + phaseOffset(g.permKey, p.PhaseLen, g.pos, p.SharedBlocks)) % p.SharedBlocks
+		}
+		return g.perm.apply(rank)
+	}
+	if g.rng.Bool(p.HotFrac) {
+		off := phaseOffset(g.permKey, p.PhaseLen, g.pos, p.SharedBlocks)
+		return (off + g.rng.Intn(p.HotBlocks)) % p.SharedBlocks
+	}
+	return g.rng.Intn(p.SharedBlocks)
+}
+
 func (g *gen) generate() {
 	p := g.p
-	// Pending migratory store half: same block, store, tiny think.
+	// Pending migratory store half: same block, store, tiny think. The
+	// store is a reference like any other, so it consumes a burst slot
+	// (previously it returned before the burst bookkeeping, silently
+	// stretching every burst that overlapped a migratory pair).
 	if g.migrLeft > 0 {
 		g.migrLeft = 0
+		if g.burst > 0 {
+			g.burst--
+		}
 		g.cur = Op{Addr: g.migrAddr, Kind: coherence.Store, Think: 1 + sim.Time(g.rng.Intn(3))}
 		return
 	}
-	think := sim.Time(g.rng.Geometric(p.MeanThink))
-	if g.burst > 0 {
-		g.burst--
-		think = sim.Time(g.rng.Intn(2))
-	} else if g.rng.Bool(p.Burstiness) {
-		g.burst = p.BurstLen
-	}
+	think := nextThink(g.rng, p, &g.burst)
 
 	var addr coherence.Addr
 	var kind coherence.AccessType
 	if g.rng.Bool(p.SharedFrac) {
 		// Shared region at the bottom of the address space.
-		var blk int
-		if g.rng.Bool(p.HotFrac) {
-			blk = g.rng.Intn(p.HotBlocks)
-		} else {
-			blk = g.rng.Intn(p.SharedBlocks)
-		}
-		addr = coherence.Addr(blk) * coherence.BlockBytes
+		addr = coherence.Addr(g.sharedBlock()) * coherence.BlockBytes
 		if g.rng.Bool(p.MigratoryFrac) {
 			// Read-modify-write: emit the load now, the store next.
 			g.migrAddr = addr

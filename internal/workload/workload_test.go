@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -19,13 +20,42 @@ func TestSuiteProfilesValid(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"oltp", "jbb", "apache", "slashcode", "barnes", "uniform", "hotspot"} {
+	for _, name := range []string{
+		"oltp", "jbb", "apache", "slashcode", "barnes", "uniform", "hotspot",
+		"migratory", "ring", "scan", "broadcast",
+	} {
 		if _, ok := ByName(name); !ok {
 			t.Errorf("profile %q missing", name)
 		}
 	}
 	if _, ok := ByName("nope"); ok {
 		t.Error("unknown profile resolved")
+	}
+	if _, ok := ByName("trace:/nonexistent/path"); ok {
+		t.Error("missing trace file resolved")
+	}
+	if _, err := Resolve("nope"); err == nil {
+		t.Error("Resolve(nope) did not error")
+	}
+}
+
+func TestRegistrySortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("registry not sorted: %v", names)
+	}
+	want := len(Suite) + len(Idioms) + 2 // + uniform, hotspot
+	if len(names) != want {
+		t.Fatalf("registry has %d profiles, want %d: %v", len(names), want, names)
+	}
+	for _, name := range names {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Fatalf("registry entry %q does not round-trip", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
 	}
 }
 

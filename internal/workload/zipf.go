@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+
+	"specsimp/internal/sim"
+)
+
+// zipf samples ranks in [0, n) with P(k) ∝ 1/(k+1)^s by
+// rejection-inversion (Hörmann & Derflinger's method for monotone
+// discrete distributions, the same scheme as math/rand's Zipf but over
+// a finite support, which admits any skew s > 0 rather than only
+// s > 1). Sampling is O(1) expected, allocation-free, and draws all of
+// its randomness from the caller's sim.RNG — so generator
+// snapshot/restore needs no sampler state beyond the RNG word.
+//
+// All quantities below are fixed at construction; with v = 1:
+//
+//	h(x)    = (1+x)^(1-s) / (1-s)        (ln(1+x) at s = 1)
+//	hinv(y) = ((1-s) y)^(1/(1-s)) - 1    (e^y - 1 at s = 1)
+type zipf struct {
+	s      float64
+	n      float64 // rank count as float (imax = n-1)
+	one    bool    // s == 1: logarithmic h/hinv
+	q1     float64 // 1 - s
+	q1inv  float64 // 1 / (1 - s)
+	hxm    float64 // h(imax + 0.5)
+	hx0Hxm float64 // h(0.5) - 1 - hxm (v^-s = 1 at v = 1)
+	accept float64 // the cheap acceptance cut: 1 - hinv(h(1.5) - 2^-s)
+}
+
+func newZipf(s float64, n int) zipf {
+	z := zipf{s: s, n: float64(n), one: s == 1, q1: 1 - s}
+	if !z.one {
+		z.q1inv = 1 / z.q1
+	}
+	z.hxm = z.h(z.n - 0.5)
+	z.hx0Hxm = z.h(0.5) - 1 - z.hxm
+	z.accept = 1 - z.hinv(z.h(1.5)-math.Exp(-s*math.Ln2))
+	return z
+}
+
+func (z *zipf) h(x float64) float64 {
+	if z.one {
+		return math.Log1p(x)
+	}
+	return math.Exp(z.q1*math.Log1p(x)) * z.q1inv
+}
+
+func (z *zipf) hinv(y float64) float64 {
+	if z.one {
+		return math.Expm1(y)
+	}
+	return math.Exp(z.q1inv*math.Log(z.q1*y)) - 1
+}
+
+// sample draws one rank in [0, n).
+func (z *zipf) sample(rng *sim.RNG) int {
+	for {
+		ur := z.hxm + rng.Float64()*z.hx0Hxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.accept {
+			return int(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-z.s*math.Log(k+1)) {
+			return int(k)
+		}
+	}
+}
+
+// blockPerm is a pseudo-random permutation of [0, n), computed on the
+// fly: a 4-round Feistel network over the smallest even-width power-of-
+// two domain covering n, cycle-walked back into range. O(1) per apply
+// with no table (a materialized permutation would cost 8·SharedBlocks
+// bytes per generator — 64 KB × 1024 nodes at the OLTP footprint), and
+// the same key yields the same permutation on every node, which is what
+// makes the Zipf hot ranks machine-wide contention points.
+type blockPerm struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	keys     [4]uint32
+}
+
+func newBlockPerm(n int, key uint64) blockPerm {
+	p := blockPerm{n: uint64(n), halfBits: 1}
+	for (uint64(1) << (2 * p.halfBits)) < p.n {
+		p.halfBits++
+	}
+	p.halfMask = (uint64(1) << p.halfBits) - 1
+	for i := range p.keys {
+		p.keys[i] = uint32(mix64(key + uint64(i)*0x9e3779b97f4a7c15))
+	}
+	return p
+}
+
+// round is the Feistel round function: a 32-bit avalanche of the half
+// word and the round key.
+func (p blockPerm) round(half uint64, key uint32) uint64 {
+	x := uint32(half) ^ key
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return uint64(x)
+}
+
+// apply maps i to its permuted image in [0, n). The Feistel domain is
+// at most 4n (the next even-width power of two), so the cycle walk
+// terminates in a handful of steps.
+func (p blockPerm) apply(i int) int {
+	x := uint64(i)
+	for {
+		l, r := x>>p.halfBits, x&p.halfMask
+		for _, k := range p.keys {
+			l, r = r, l^(p.round(r, k)&p.halfMask)
+		}
+		x = l<<p.halfBits | r
+		if x < p.n {
+			return int(x)
+		}
+	}
+}

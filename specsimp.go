@@ -114,11 +114,45 @@ var (
 	Hotspot = workload.Hotspot
 )
 
+// The sharing-idiom streams (workload/idioms.go): pure sharing patterns
+// the protocols were not calibrated against.
+var (
+	MigratoryChain = workload.MigratoryChain
+	Ring           = workload.Ring
+	Scan           = workload.Scan
+	Broadcast      = workload.Broadcast
+)
+
 // WorkloadSuite is the paper's five evaluation workloads.
 func WorkloadSuite() []Workload { return append([]Workload(nil), workload.Suite...) }
 
-// WorkloadByName resolves a workload by its name.
+// WorkloadIdioms is the sharing-idiom evaluation set.
+func WorkloadIdioms() []Workload { return append([]Workload(nil), workload.Idioms...) }
+
+// WorkloadNames lists every registered workload name.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadByName resolves a workload by its name (including the
+// "trace:<path>" scheme).
 func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// ResolveWorkload is WorkloadByName with a descriptive error: unknown
+// names list the registry, bad trace files report the decode failure.
+func ResolveWorkload(name string) (Workload, error) { return workload.Resolve(name) }
+
+// WorkloadFromTrace loads a recorded trace file as a replayable
+// workload (equivalent to ResolveWorkload("trace:" + path)).
+func WorkloadFromTrace(path string) (Workload, error) { return workload.FromTrace(path) }
+
+// TraceRecorder captures the reference streams a run actually consumes;
+// set Config.Recorder to record, then write Trace() to a file for
+// -workload trace:<path> replay.
+type TraceRecorder = workload.TraceRecorder
+
+// NewTraceRecorder records a run of the named workload across nodes.
+func NewTraceRecorder(name string, nodes int) *TraceRecorder {
+	return workload.NewTraceRecorder(name, nodes)
+}
 
 // ---- interconnect ----
 
@@ -212,6 +246,8 @@ var (
 	ScaleTable      = experiments.ScaleTable
 	Scale1024Sweep  = experiments.Scale1024Sweep
 	Scale1024Table  = experiments.Scale1024Table
+	Workloads       = experiments.Workloads
+	WorkloadsTable  = experiments.WorkloadsTable
 )
 
 // DefaultConfigSized returns the Table 2 system scaled to a w×h torus.
