@@ -1,5 +1,8 @@
 // Command sweep regenerates the paper's evaluation (§5): each -exp
-// selects one figure or result and prints the corresponding table.
+// selects one registered experiment and prints the corresponding
+// table. The experiment set, the -exp usage string, and the
+// unknown-experiment error are all generated from the registry in
+// internal/experiments — run `sweep -h` for the current list.
 //
 // Usage:
 //
@@ -14,8 +17,21 @@
 //	sweep -exp reenable           # ablation A5
 //	sweep -exp checkpoint         # ablation A3
 //	sweep -exp availability       # fault regimes x checkpoint cadence
-//	sweep -exp all
+//	sweep -exp all                # every registered experiment, sorted
 //	sweep -exp fig5 -quick        # bench-sized parameters
+//
+// Campaigns and analysis (see EXPERIMENTS.md "Campaigns and
+// analysis"): -campaign runs a declarative JSON spec — experiments ×
+// axis overrides × repeats × shards × run id — with per-point resume
+// keyed on the run directory's progress ledger; a killed campaign
+// re-invoked with the same spec and run id skips completed points and
+// converges to a byte-identical artifact tree. -analyze regenerates
+// summaries, paper tables, and LaTeX tables from a completed run
+// directory without re-simulating.
+//
+//	sweep -campaign campaigns/paper.json          # full -exp all surface
+//	sweep -campaign spec.json -run-id night7      # override the spec's run_id
+//	sweep -analyze sweep-runs/run-night7          # tables into .../analysis/
 //
 // Execution and artifacts (see EXPERIMENTS.md "Artifact layout"):
 //

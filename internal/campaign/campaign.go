@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"specsimp/internal/experiments"
+	"specsimp/internal/runner"
+)
+
+// Options tunes one Execute invocation.
+type Options struct {
+	// Root is the run-directory root (default "sweep-runs"); the
+	// campaign lands in Root/run-<run-id>.
+	Root string
+	// AbortAfter > 0 interrupts the campaign after that many freshly
+	// executed points — the simulated-kill hook for resume tests and
+	// the CI campaign-smoke job. The interrupted invocation writes no
+	// manifest and no artifacts for the incomplete experiment; its
+	// ledger keeps the completed points.
+	AbortAfter int
+	// OnResult, when non-nil, observes each completed experiment (for
+	// table printing); it runs after the experiment's artifacts are
+	// written.
+	OnResult func(pe PlanExperiment, result any)
+}
+
+// Report summarizes one Execute invocation.
+type Report struct {
+	Dir         string
+	Experiments []string
+	// Executed counts freshly simulated points; Reused counts points
+	// skipped via the resume ledger.
+	Executed int
+	Reused   int
+	// Interrupted is set when the abort hook fired before the plan
+	// completed; re-running the same spec + run id resumes.
+	Interrupted bool
+}
+
+// specFile is the canonical spec echo inside the run directory — the
+// resume contract's witness. Re-invoking with a different spec under
+// the same run id is refused (the ledger's digests would silently
+// mismatch and re-simulate, or worse, half-match).
+const specFile = "campaign.json"
+
+// Execute runs a validated plan to completion (or to the abort hook),
+// with per-point resume against the run directory's ledger. The final
+// artifact tree of a resumed campaign is byte-identical to an
+// uninterrupted one: every invocation rewrites the CSVs and summaries
+// from the full grid (cache hits included), the manifest and the
+// canonical ledger are only written at completion, and nothing in the
+// tree depends on the wall clock — the run id names the run.
+func Execute(plan Plan, opts Options) (Report, error) {
+	root := opts.Root
+	if root == "" {
+		root = "sweep-runs"
+	}
+	dir := runner.RunDir(root, plan.RunID)
+	rep := Report{Dir: dir}
+
+	sink, err := runner.NewSink(dir)
+	if err != nil {
+		return rep, err
+	}
+	canon := plan.Spec.Canonical()
+	specPath := filepath.Join(dir, specFile)
+	if prev, err := os.ReadFile(specPath); err == nil {
+		if string(prev) != string(canon) {
+			return rep, fmt.Errorf("campaign: run directory %s was produced by a different spec; pick a new run id or restore the original spec (diff %s)", dir, specPath)
+		}
+	} else if !os.IsNotExist(err) {
+		return rep, fmt.Errorf("campaign: read %s: %v", specPath, err)
+	} else if err := os.WriteFile(specPath, canon, 0o644); err != nil {
+		return rep, fmt.Errorf("campaign: write %s: %v", specPath, err)
+	}
+
+	led, err := OpenLedger(dir)
+	if err != nil {
+		return rep, err
+	}
+	defer led.Close()
+	led.abortAfter = opts.AbortAfter
+
+	workers := 0
+	for _, pe := range plan.Experiments {
+		ex := &runner.Runner{
+			Workers:   plan.Parallel,
+			Sink:      sink,
+			Cache:     led,
+			Interrupt: led.Interrupted,
+		}
+		workers = ex.WorkerBound()
+		p := pe.Params
+		p.Exec = ex
+		out, err := experiments.RunExperiment(pe.Exp, p)
+		if errors.Is(err, experiments.ErrInterrupted) {
+			break
+		}
+		if err != nil {
+			return rep, err
+		}
+		rep.Experiments = append(rep.Experiments, pe.Exp.Name())
+		if opts.OnResult != nil {
+			opts.OnResult(pe, out)
+		}
+	}
+	rep.Executed, rep.Reused = led.Fresh(), led.Reused()
+	if led.Interrupted() {
+		rep.Interrupted = true
+		// No manifest, no canonical ledger: the tree is visibly
+		// incomplete until a resume finishes the plan.
+		return rep, sink.Err()
+	}
+
+	if err := led.Canonicalize(plan); err != nil {
+		return rep, err
+	}
+	sink.WriteJSON("manifest", runner.Manifest{
+		// The canonical command names the campaign by run id, never by
+		// the spec file's path or the interrupting flags — resumed and
+		// clean invocations must write identical manifests.
+		Command:     "sweep -campaign " + plan.RunID,
+		RunID:       plan.RunID,
+		Experiments: rep.Experiments,
+		Workers:     workers,
+		Quick:       plan.Spec.Quick,
+	})
+	if err := sink.Err(); err != nil {
+		return rep, fmt.Errorf("campaign: artifact write failed: %v", err)
+	}
+	return rep, nil
+}

@@ -8,7 +8,6 @@ import (
 	"specsimp/internal/sim"
 	"specsimp/internal/stats"
 	"specsimp/internal/system"
-	"specsimp/internal/workload"
 )
 
 // ---- availability: sustained fault load × checkpoint cadence ----
@@ -90,13 +89,23 @@ var availabilityRegimes = []struct {
 	{"repeat", system.FaultRepeat},
 }
 
-// Availability sweeps fault regime × checkpoint cadence on the
+// availabilityExp sweeps fault regime × checkpoint cadence on the
 // speculative directory system and reports degraded-mode throughput,
 // recovery-latency and rollback-distance distributions, and the cost of
-// log-overflow backpressure. One workload (OLTP) keeps the grid small;
-// the regimes, not the workload mix, are the experiment's subject.
-func Availability(p Params) []AvailabilityResult {
-	wl := workload.OLTP
+// log-overflow backpressure. One workload (OLTP by default) keeps the
+// grid small; the regimes, not the workload mix, are the experiment's
+// subject.
+type availabilityExp struct{}
+
+func (availabilityExp) Name() string { return "availability" }
+func (availabilityExp) Title(p Params) string {
+	return "Availability: sustained fault regimes × checkpoint cadence (" +
+		p.AxisProfile("workload").Name + ")"
+}
+func (availabilityExp) Axes() []Axis { return []Axis{workloadAxis("oltp")} }
+
+func (availabilityExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
 	for _, reg := range availabilityRegimes {
 		for _, cad := range availabilityCadences(p) {
@@ -123,9 +132,10 @@ func Availability(p Params) []AvailabilityResult {
 			})
 		}
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (availabilityExp) Aggregate(p Params, res []runner.Result) any {
 	var out []AvailabilityResult
 	i := 0
 	for _, reg := range availabilityRegimes {
@@ -153,8 +163,15 @@ func Availability(p Params) []AvailabilityResult {
 			i += p.Runs
 		}
 	}
-	ex.Summarize("availability", out)
 	return out
+}
+
+func (availabilityExp) Table(v any) string { return AvailabilityTable(v.([]AvailabilityResult)) }
+
+// Availability runs the registered availability experiment (historical
+// signature; OLTP by default).
+func Availability(p Params) []AvailabilityResult {
+	return mustRun(availabilityExp{}, p).([]AvailabilityResult)
 }
 
 // ratio is a/b, or 0 when b is 0 (no observations).

@@ -45,7 +45,20 @@ type Params struct {
 	// clock so the validation window stays proportionate.
 	CheckpointInterval sim.Time
 	// Workloads are the profiles to evaluate (default: the paper's 5).
+	// They resolve the list-valued "workloads" axis of the suite-sweep
+	// experiments; see Normalize for the full precedence chain.
 	Workloads []workload.Profile
+	// Workload resolves the single-valued "workload" axis of the
+	// experiments that run one profile (reorder, buffers, the
+	// ablations, ...). The zero Profile means "use the axis default".
+	// Carrying a resolved profile — not a name — lets trace replays and
+	// test-constructed profiles flow through unchanged.
+	Workload workload.Profile
+	// Axes carries raw per-axis value overrides (CLI/campaign-spec
+	// strings, validated by Normalize against the experiment's declared
+	// axes). Overrides win over the profile fields above and over the
+	// declared defaults.
+	Axes map[string][]string
 	// Shards requests intra-run parallelism for the design points that
 	// support it (the scale64/scale1024 directory machines): each
 	// single run partitions its torus into that many conservative-
@@ -67,6 +80,13 @@ type Params struct {
 	// bounds worker concurrency and optionally persists artifacts. Nil
 	// uses a fresh engine bounded at GOMAXPROCS with no artifacts.
 	Exec *runner.Runner
+
+	// Normalized axis state (see Normalize in registry.go): the typed,
+	// validated value set per declared axis. normalized makes Normalize
+	// idempotent, so the legacy wrappers and RunExperiment compose.
+	axisValues   map[string][]string
+	axisProfiles map[string][]workload.Profile
+	normalized   bool
 }
 
 // effectiveTiles resolves the requested intra-run tiling for one design
@@ -260,11 +280,22 @@ type Fig4Result struct {
 // Fig4Rates are the paper's injection rates (per second).
 var Fig4Rates = []int{0, 1, 10, 100}
 
-// Fig4 reproduces Figure 4: inject periodic recoveries into the
+// fig4Exp reproduces Figure 4: inject periodic recoveries into the
 // non-speculative directory system and measure normalized performance.
-func Fig4(p Params) []Fig4Result {
+type fig4Exp struct{}
+
+func (fig4Exp) Name() string { return "fig4" }
+func (fig4Exp) Title(Params) string {
+	return "Figure 4: normalized performance vs mis-speculation rate"
+}
+func (fig4Exp) Axes() []Axis { return []Axis{workloadsAxis()} }
+func (fig4Exp) Preamble(p Params) string {
+	return fmt.Sprintf("compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n", p.CyclesPerSecond)
+}
+
+func (fig4Exp) Grid(p Params) []runner.Point {
 	var pts []runner.Point
-	for _, wl := range p.Workloads {
+	for _, wl := range p.AxisProfiles("workloads") {
 		for _, rate := range Fig4Rates {
 			cfg := system.DefaultConfig(system.DirectoryFull, wl)
 			cfg.CheckpointInterval = p.CheckpointInterval
@@ -275,12 +306,14 @@ func Fig4(p Params) []Fig4Result {
 			pts = repeats(pts, "fig4", cfg, p, map[string]string{"rate": strconv.Itoa(rate)})
 		}
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
-	out := make([]Fig4Result, len(p.Workloads))
+func (fig4Exp) Aggregate(p Params, res []runner.Result) any {
+	wls := p.AxisProfiles("workloads")
+	out := make([]Fig4Result, len(wls))
 	i := 0
-	for wi, wl := range p.Workloads {
+	for wi, wl := range wls {
 		r := Fig4Result{Workload: wl.Name, PerfByRate: map[int]Cell{}, Recoveries: map[int]float64{}}
 		var base float64
 		for _, rate := range Fig4Rates {
@@ -297,9 +330,14 @@ func Fig4(p Params) []Fig4Result {
 		}
 		out[wi] = r
 	}
-	ex.Summarize("fig4", out)
 	return out
 }
+
+func (fig4Exp) Table(v any) string { return Fig4Table(v.([]Fig4Result)) }
+
+// Fig4 runs the registered fig4 experiment (historical signature, kept
+// for the root facade and the benchmark suite).
+func Fig4(p Params) []Fig4Result { return mustRun(fig4Exp{}, p).([]Fig4Result) }
 
 // Fig4Table renders Figure 4 in the paper's layout plus the true-scale
 // projection (4 GHz, Table 2 checkpoint interval).
@@ -337,11 +375,20 @@ type Fig5Result struct {
 // Fig5LinkBandwidth is 400 MB/s at the 4 GHz clock.
 const Fig5LinkBandwidth = 0.1
 
-// Fig5 reproduces Figure 5: relative performance of static and adaptive
-// routing under the speculatively simplified directory protocol.
-func Fig5(p Params) []Fig5Result {
+// fig5Exp reproduces Figure 5: relative performance of static and
+// adaptive routing under the speculatively simplified directory
+// protocol.
+type fig5Exp struct{}
+
+func (fig5Exp) Name() string { return "fig5" }
+func (fig5Exp) Title(Params) string {
+	return "Figure 5: static vs adaptive routing (400 MB/s links)"
+}
+func (fig5Exp) Axes() []Axis { return []Axis{workloadsAxis()} }
+
+func (fig5Exp) Grid(p Params) []runner.Point {
 	var pts []runner.Point
-	for _, wl := range p.Workloads {
+	for _, wl := range p.AxisProfiles("workloads") {
 		base := system.DefaultConfig(system.DirectorySpec, wl)
 		base.CheckpointInterval = p.CheckpointInterval
 		// Figure 5's networks (safe static; adaptive with full buffering)
@@ -359,12 +406,14 @@ func Fig5(p Params) []Fig5Result {
 		ad.AdaptiveDisableWindow = 10 * p.CheckpointInterval
 		pts = repeats(pts, "fig5", ad, p, map[string]string{"routing": "adaptive"})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
-	out := make([]Fig5Result, len(p.Workloads))
+func (fig5Exp) Aggregate(p Params, res []runner.Result) any {
+	wls := p.AxisProfiles("workloads")
+	out := make([]Fig5Result, len(wls))
 	i := 0
-	for wi, wl := range p.Workloads {
+	for wi, wl := range wls {
 		static, adaptive := i, i+p.Runs
 		i += 2 * p.Runs
 		r := Fig5Result{Workload: wl.Name, StaticPerf: Cell{1, 0}}
@@ -375,9 +424,13 @@ func Fig5(p Params) []Fig5Result {
 		r.MeanLinkUtil = sampleOf(res, static, p.Runs, "mean_link_util").Mean()
 		out[wi] = r
 	}
-	ex.Summarize("fig5", out)
 	return out
 }
+
+func (fig5Exp) Table(v any) string { return Fig5Table(v.([]Fig5Result)) }
+
+// Fig5 runs the registered fig5 experiment (historical signature).
+func Fig5(p Params) []Fig5Result { return mustRun(fig5Exp{}, p).([]Fig5Result) }
 
 // Fig5Table renders Figure 5.
 func Fig5Table(results []Fig5Result) string {
@@ -407,11 +460,27 @@ type ReorderResult struct {
 // ReorderBandwidths spans the paper's 400 MB/s – 3.2 GB/s (at 4 GHz).
 var ReorderBandwidths = []float64{0.1, 0.2, 0.4, 0.8}
 
-// ReorderRates reproduces the §5.3 reorder-rate measurements on the
+// reorderExp reproduces the §5.3 reorder-rate measurements on the
 // speculative directory system with adaptive routing.
-func ReorderRates(p Params, wl workload.Profile) []ReorderResult {
+type reorderExp struct{}
+
+func (reorderExp) Name() string { return "reorder" }
+func (reorderExp) Title(p Params) string {
+	return "§5.3: message reorder rates vs link bandwidth (" + p.AxisProfile("workload").Name + ")"
+}
+func (reorderExp) Axes() []Axis {
+	return []Axis{
+		workloadAxis("oltp"),
+		{Name: "bw", Kind: AxisFloat, List: true,
+			Default: floatStrings(ReorderBandwidths),
+			Help:    "link bandwidths in bytes/cycle"},
+	}
+}
+
+func (reorderExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
-	for _, bw := range ReorderBandwidths {
+	for _, bw := range p.AxisFloats("bw") {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 0 // full-buffering adaptive net cannot deadlock
@@ -419,11 +488,13 @@ func ReorderRates(p Params, wl workload.Profile) []ReorderResult {
 		cfg.AdaptiveDisableWindow = 10 * p.CheckpointInterval
 		pts = repeats(pts, "reorder", cfg, p, map[string]string{"bw": strconv.FormatFloat(bw, 'g', -1, 64)})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
-	out := make([]ReorderResult, len(ReorderBandwidths))
-	for bi, bw := range ReorderBandwidths {
+func (reorderExp) Aggregate(p Params, res []runner.Result) any {
+	bws := p.AxisFloats("bw")
+	out := make([]ReorderResult, len(bws))
+	for bi, bw := range bws {
 		i := bi * p.Runs
 		r := ReorderResult{BandwidthBpc: bw, BandwidthMBs: bw * 4000}
 		r.Total = sampleOf(res, i, p.Runs, "reorder_total").Mean()
@@ -434,8 +505,16 @@ func ReorderRates(p Params, wl workload.Profile) []ReorderResult {
 		}
 		out[bi] = r
 	}
-	ex.Summarize("reorder", out)
 	return out
+}
+
+func (reorderExp) Table(v any) string { return ReorderTable(v.([]ReorderResult)) }
+
+// ReorderRates runs the registered reorder experiment on one workload
+// (historical signature).
+func ReorderRates(p Params, wl workload.Profile) []ReorderResult {
+	p.Workload = wl
+	return mustRun(reorderExp{}, p).([]ReorderResult)
 }
 
 // ReorderTable renders the reorder-rate study.
@@ -465,12 +544,20 @@ type SnoopResult struct {
 	FullCornerHit  float64 // how often the full protocol exercised it
 }
 
-// SnoopRecoveries reproduces the §5.3 snooping result: all workloads
-// run to completion with (essentially) no recoveries, and performance
-// mirrors the fully designed protocol.
-func SnoopRecoveries(p Params) []SnoopResult {
+// snoopExp reproduces the §5.3 snooping result: all workloads run to
+// completion with (essentially) no recoveries, and performance mirrors
+// the fully designed protocol.
+type snoopExp struct{}
+
+func (snoopExp) Name() string { return "snoop" }
+func (snoopExp) Title(Params) string {
+	return "§5.3: speculatively simplified snooping protocol"
+}
+func (snoopExp) Axes() []Axis { return []Axis{workloadsAxis()} }
+
+func (snoopExp) Grid(p Params) []runner.Point {
 	var pts []runner.Point
-	for _, wl := range p.Workloads {
+	for _, wl := range p.AxisProfiles("workloads") {
 		full := system.DefaultConfig(system.SnoopFull, wl)
 		full.CheckpointInterval = p.CheckpointInterval
 		pts = repeats(pts, "snoop", full, p, map[string]string{"variant": "full"})
@@ -478,12 +565,14 @@ func SnoopRecoveries(p Params) []SnoopResult {
 		spec.CheckpointInterval = p.CheckpointInterval
 		pts = repeats(pts, "snoop", spec, p, map[string]string{"variant": "spec"})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
-	out := make([]SnoopResult, len(p.Workloads))
+func (snoopExp) Aggregate(p Params, res []runner.Result) any {
+	wls := p.AxisProfiles("workloads")
+	out := make([]SnoopResult, len(wls))
 	i := 0
-	for wi, wl := range p.Workloads {
+	for wi, wl := range wls {
 		full, spec := i, i+p.Runs
 		i += 2 * p.Runs
 		r := SnoopResult{Workload: wl.Name}
@@ -492,9 +581,14 @@ func SnoopRecoveries(p Params) []SnoopResult {
 		r.FullCornerHit = sampleOf(res, full, p.Runs, "corner_handled").Mean()
 		out[wi] = r
 	}
-	ex.Summarize("snoop", out)
 	return out
 }
+
+func (snoopExp) Table(v any) string { return SnoopTable(v.([]SnoopResult)) }
+
+// SnoopRecoveries runs the registered snoop experiment (historical
+// signature).
+func SnoopRecoveries(p Params) []SnoopResult { return mustRun(snoopExp{}, p).([]SnoopResult) }
 
 // SnoopTable renders the snooping study.
 func SnoopTable(results []SnoopResult) string {
@@ -527,16 +621,32 @@ var BufferSizes = []int{0, 16, 8, 4, 2}
 // matter without saturating it (800 MB/s at 4 GHz).
 const BufferSweepBandwidth = 0.2
 
-// BufferSweep reproduces the §5.3 network results: the simplified
+// buffersExp reproduces the §5.3 network results: the simplified
 // interconnect (no virtual networks/channels, one shared buffer pool
 // per switch) holds steady performance until buffers get very small,
 // then drops sharply once deadlocks appear and are resolved by
 // timeout-triggered recovery. Normalization against the worst-case
 // baseline happens at aggregation time, so the whole grid — baseline
 // included — runs on one worker pool.
-func BufferSweep(p Params, wl workload.Profile) []BufferResult {
+type buffersExp struct{}
+
+func (buffersExp) Name() string { return "buffers" }
+func (buffersExp) Title(p Params) string {
+	return "§5.3: simplified interconnect buffer sweep (" + p.AxisProfile("workload").Name + ")"
+}
+func (buffersExp) Axes() []Axis {
+	return []Axis{
+		workloadAxis("oltp"),
+		{Name: "bufsize", Kind: AxisInt, List: true,
+			Default: intStrings(BufferSizes),
+			Help:    "per-switch buffer entries (0 = worst-case baseline)"},
+	}
+}
+
+func (buffersExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
-	for _, size := range BufferSizes {
+	for _, size := range p.AxisInts("bufsize") {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 3 * p.CheckpointInterval
@@ -544,12 +654,14 @@ func BufferSweep(p Params, wl workload.Profile) []BufferResult {
 		cfg.Net = network.SimplifiedConfig(4, 4, BufferSweepBandwidth, size)
 		pts = repeats(pts, "buffers", cfg, p, map[string]string{"bufsize": strconv.Itoa(size)})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
-	out := make([]BufferResult, len(BufferSizes))
+func (buffersExp) Aggregate(p Params, res []runner.Result) any {
+	sizes := p.AxisInts("bufsize")
+	out := make([]BufferResult, len(sizes))
 	var base float64
-	for si, size := range BufferSizes {
+	for si, size := range sizes {
 		i := si * p.Runs
 		perf := sampleOf(res, i, p.Runs, "perf")
 		if size == 0 {
@@ -562,8 +674,16 @@ func BufferSweep(p Params, wl workload.Profile) []BufferResult {
 			Timeouts:   sampleOf(res, i, p.Runs, "timeouts").Mean(),
 		}
 	}
-	ex.Summarize("buffers", out)
 	return out
+}
+
+func (buffersExp) Table(v any) string { return BufferTable(v.([]BufferResult)) }
+
+// BufferSweep runs the registered buffers experiment on one workload
+// (historical signature).
+func BufferSweep(p Params, wl workload.Profile) []BufferResult {
+	p.Workload = wl
+	return mustRun(buffersExp{}, p).([]BufferResult)
 }
 
 // BufferTable renders the buffer sweep.
@@ -656,17 +776,25 @@ func scaleVariants(kind system.Kind) []scaleVariant {
 	}
 }
 
-// ScaleSweep runs the scaling study. The directory system keeps its
+// scale64Exp runs the scaling study. The directory system keeps its
 // adaptive full-buffered network (deadlock-free, so the watchdog stays
 // off as in Fig5); the snooping system's address network scales with
 // the geometry (ScaledBusConfig): flat through 64 nodes, segmented at
-// 16×16. Points past a machine model's ceiling (see Scale1024Sweep's
-// 32×32 snooping point) land in the results as reported errors rather
-// than killing the sweep.
-func ScaleSweep(p Params) []ScaleResult {
+// 16×16. Points past a machine model's ceiling (see scale1024's 32×32
+// snooping point) land in the results as reported errors rather than
+// killing the sweep.
+type scale64Exp struct{}
+
+func (scale64Exp) Name() string { return "scale64" }
+func (scale64Exp) Title(Params) string {
+	return "Scaling study: 4x4 -> 8x8 -> 16x16, both Spec protocols (directory-only at 256 nodes)"
+}
+func (scale64Exp) Axes() []Axis { return []Axis{workloadsAxis()} }
+
+func (scale64Exp) Grid(p Params) []runner.Point {
 	var pts []runner.Point
 	for _, kind := range scaleKinds {
-		for _, wl := range p.Workloads {
+		for _, wl := range p.AxisProfiles("workloads") {
 			for _, v := range scaleVariants(kind) {
 				cfg := system.DefaultConfigSized(kind, wl, v.w, v.h)
 				cfg.CheckpointInterval = p.CheckpointInterval
@@ -690,13 +818,14 @@ func ScaleSweep(p Params) []ScaleResult {
 			}
 		}
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (scale64Exp) Aggregate(p Params, res []runner.Result) any {
 	var out []ScaleResult
 	i := 0
 	for _, kind := range scaleKinds {
-		for _, wl := range p.Workloads {
+		for _, wl := range p.AxisProfiles("workloads") {
 			var base float64
 			for vi, v := range scaleVariants(kind) {
 				r := ScaleResult{
@@ -728,9 +857,14 @@ func ScaleSweep(p Params) []ScaleResult {
 			}
 		}
 	}
-	ex.Summarize("scale64", out)
 	return out
 }
+
+func (scale64Exp) Table(v any) string { return ScaleTable(v.([]ScaleResult)) }
+
+// ScaleSweep runs the registered scale64 experiment (historical
+// signature).
+func ScaleSweep(p Params) []ScaleResult { return mustRun(scale64Exp{}, p).([]ScaleResult) }
 
 // ScaleTable renders the scaling study. Unsupported design points show
 // as "unsupported*" rows with the (deduplicated) reasons footnoted
@@ -777,31 +911,43 @@ type DeflectionResult struct {
 	Deflections float64
 }
 
-// DeflectionAblation runs the speculative directory system on (a) the
+// deflectionNets are the A4 ablation's fixed fabric pair.
+var deflectionNets = []struct {
+	name string
+	net  func() network.Config
+}{
+	{"simplified-2buf", func() network.Config { return network.SimplifiedConfig(4, 4, BufferSweepBandwidth, 2) }},
+	{"deflection", func() network.Config { return network.DeflectionConfig(4, 4, BufferSweepBandwidth) }},
+}
+
+// deflectionExp runs the speculative directory system on (a) the
 // simplified waiting network at the deadlock-prone buffer size and (b)
 // the deflection network, both guarded by the transaction timeout.
-func DeflectionAblation(p Params, wl workload.Profile) []DeflectionResult {
-	configs := []struct {
-		name string
-		net  network.Config
-	}{
-		{"simplified-2buf", network.SimplifiedConfig(4, 4, BufferSweepBandwidth, 2)},
-		{"deflection", network.DeflectionConfig(4, 4, BufferSweepBandwidth)},
-	}
+type deflectionExp struct{}
+
+func (deflectionExp) Name() string { return "deflection" }
+func (deflectionExp) Title(p Params) string {
+	return "Ablation A4: deadlock-recovery vs deflection routing (" + p.AxisProfile("workload").Name + ")"
+}
+func (deflectionExp) Axes() []Axis { return []Axis{workloadAxis("oltp")} }
+
+func (deflectionExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
-	for _, c := range configs {
+	for _, c := range deflectionNets {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 3 * p.CheckpointInterval
 		cfg.SlowStartWindow = 5 * p.CheckpointInterval
-		cfg.Net = c.net
+		cfg.Net = c.net()
 		pts = repeats(pts, "deflection", cfg, p, map[string]string{"net": c.name})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
-	out := make([]DeflectionResult, len(configs))
-	for ci, c := range configs {
+func (deflectionExp) Aggregate(p Params, res []runner.Result) any {
+	out := make([]DeflectionResult, len(deflectionNets))
+	for ci, c := range deflectionNets {
 		i := ci * p.Runs
 		perf := sampleOf(res, i, p.Runs, "perf")
 		out[ci] = DeflectionResult{
@@ -811,8 +957,26 @@ func DeflectionAblation(p Params, wl workload.Profile) []DeflectionResult {
 			Deflections: sampleOf(res, i, p.Runs, "deflections").Mean(),
 		}
 	}
-	ex.Summarize("deflection", out)
 	return out
+}
+
+func (deflectionExp) Table(v any) string { return DeflectionTable(v.([]DeflectionResult)) }
+
+// DeflectionTable renders the A4 ablation.
+func DeflectionTable(results []DeflectionResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
+			r.Name, r.Perf, r.Recoveries, r.Deflections)
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// DeflectionAblation runs the registered deflection experiment on one
+// workload (historical signature).
+func DeflectionAblation(p Params, wl workload.Profile) []DeflectionResult {
+	p.Workload = wl
+	return mustRun(deflectionExp{}, p).([]DeflectionResult)
 }
 
 // SlowStartResult is one limit point of the A2 ablation.
@@ -822,13 +986,32 @@ type SlowStartResult struct {
 	Recoveries float64
 }
 
-// SlowStartAblation measures post-recovery throughput and recurrence as
-// a function of the slow-start outstanding limit, on the deadlock-prone
+// SlowStartLimits are the default swept outstanding limits.
+var SlowStartLimits = []int{1, 2, 4, 8}
+
+// slowstartExp measures post-recovery throughput and recurrence as a
+// function of the slow-start outstanding limit, on the deadlock-prone
 // simplified network (2-entry shared pools, where deadlocks actually
-// occur — see BufferSweep).
-func SlowStartAblation(p Params, wl workload.Profile, limits []int) []SlowStartResult {
+// occur — see buffersExp).
+type slowstartExp struct{}
+
+func (slowstartExp) Name() string { return "slowstart" }
+func (slowstartExp) Title(p Params) string {
+	return "Ablation A2: slow-start outstanding limit (" + p.AxisProfile("workload").Name + ", 2-entry buffers)"
+}
+func (slowstartExp) Axes() []Axis {
+	return []Axis{
+		workloadAxis("oltp"),
+		{Name: "limit", Kind: AxisInt, List: true,
+			Default: intStrings(SlowStartLimits),
+			Help:    "slow-start outstanding-transaction limits"},
+	}
+}
+
+func (slowstartExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
-	for _, limit := range limits {
+	for _, limit := range p.AxisInts("limit") {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 3 * p.CheckpointInterval
@@ -837,9 +1020,11 @@ func SlowStartAblation(p Params, wl workload.Profile, limits []int) []SlowStartR
 		cfg.SlowStartLimit = limit
 		pts = repeats(pts, "slowstart", cfg, p, map[string]string{"limit": strconv.Itoa(limit)})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (slowstartExp) Aggregate(p Params, res []runner.Result) any {
+	limits := p.AxisInts("limit")
 	out := make([]SlowStartResult, len(limits))
 	for li, limit := range limits {
 		i := li * p.Runs
@@ -850,8 +1035,26 @@ func SlowStartAblation(p Params, wl workload.Profile, limits []int) []SlowStartR
 			Recoveries: sampleOf(res, i, p.Runs, "recoveries").Mean(),
 		}
 	}
-	ex.Summarize("slowstart", out)
 	return out
+}
+
+func (slowstartExp) Table(v any) string { return SlowStartTable(v.([]SlowStartResult)) }
+
+// SlowStartTable renders the A2 ablation.
+func SlowStartTable(results []SlowStartResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// SlowStartAblation runs the registered slowstart experiment with the
+// given limits (historical signature).
+func SlowStartAblation(p Params, wl workload.Profile, limits []int) []SlowStartResult {
+	p.Workload = wl
+	p = p.withAxis("limit", intStrings(limits))
+	return mustRun(slowstartExp{}, p).([]SlowStartResult)
 }
 
 // ReenableResult is one point of the A5 ablation: the paper §3.1 notes
@@ -868,11 +1071,33 @@ type ReenableResult struct {
 	Recoveries float64
 }
 
-// ReenableAblation sweeps the adaptive-routing re-enable window under
+// ReenableWindows are the default swept re-enable windows, scaled by
+// the run's checkpoint interval (0 = never re-enable).
+func ReenableWindows(p Params) []sim.Time {
+	return []sim.Time{0, 2 * p.CheckpointInterval, 10 * p.CheckpointInterval, 50 * p.CheckpointInterval}
+}
+
+// reenableExp sweeps the adaptive-routing re-enable window under
 // amplified reordering.
-func ReenableAblation(p Params, wl workload.Profile, windows []sim.Time) []ReenableResult {
+type reenableExp struct{}
+
+func (reenableExp) Name() string { return "reenable" }
+func (reenableExp) Title(p Params) string {
+	return "Ablation A5: adaptive-routing re-enable window (" + p.AxisProfile("workload").Name + ", amplified reordering)"
+}
+func (reenableExp) Axes() []Axis {
+	return []Axis{
+		workloadAxis("oltp"),
+		{Name: "window", Kind: AxisTime, List: true,
+			DefaultOf: func(p Params) []string { return timeStrings(ReenableWindows(p)) },
+			Help:      "re-enable windows in cycles (0 = never)"},
+	}
+}
+
+func (reenableExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
-	for _, w := range windows {
+	for _, w := range p.AxisTimes("window") {
 		cfg := system.DefaultConfig(system.DirectorySpec, wl)
 		cfg.CheckpointInterval = p.CheckpointInterval
 		cfg.TimeoutCycles = 0
@@ -886,9 +1111,11 @@ func ReenableAblation(p Params, wl workload.Profile, windows []sim.Time) []Reena
 		cfg.L1Bytes, cfg.L1Ways = 2*64, 1
 		pts = repeats(pts, "reenable", cfg, p, map[string]string{"window": strconv.FormatUint(uint64(w), 10)})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (reenableExp) Aggregate(p Params, res []runner.Result) any {
+	windows := p.AxisTimes("window")
 	out := make([]ReenableResult, len(windows))
 	for wi, w := range windows {
 		i := wi * p.Runs
@@ -899,8 +1126,30 @@ func ReenableAblation(p Params, wl workload.Profile, windows []sim.Time) []Reena
 			Recoveries: sampleOf(res, i, p.Runs, "recoveries").Mean(),
 		}
 	}
-	ex.Summarize("reenable", out)
 	return out
+}
+
+func (reenableExp) Table(v any) string { return ReenableTable(v.([]ReenableResult)) }
+
+// ReenableTable renders the A5 ablation.
+func ReenableTable(results []ReenableResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		name := fmt.Sprintf("%d cycles", r.Window)
+		if r.Window == 0 {
+			name = "never (conservative)"
+		}
+		fmt.Fprintf(&b, "  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// ReenableAblation runs the registered reenable experiment with the
+// given windows (historical signature).
+func ReenableAblation(p Params, wl workload.Profile, windows []sim.Time) []ReenableResult {
+	p.Workload = wl
+	p = p.withAxis("window", timeStrings(windows))
+	return mustRun(reenableExp{}, p).([]ReenableResult)
 }
 
 // CheckpointResult is one interval point of the A3 ablation.
@@ -911,18 +1160,41 @@ type CheckpointResult struct {
 	CheckpointStall float64
 }
 
-// CheckpointAblation measures checkpoint-interval effects: log
-// occupancy grows with the interval while checkpoint stalls shrink.
-func CheckpointAblation(p Params, wl workload.Profile, intervals []sim.Time) []CheckpointResult {
+// CheckpointIntervals are the default swept intervals.
+var CheckpointIntervals = []sim.Time{2_000, 5_000, 20_000, 50_000}
+
+// checkpointExp measures checkpoint-interval effects: log occupancy
+// grows with the interval while checkpoint stalls shrink. It defaults
+// to the uniform workload — the interval, not the sharing pattern, is
+// the subject.
+type checkpointExp struct{}
+
+func (checkpointExp) Name() string { return "checkpoint" }
+func (checkpointExp) Title(Params) string {
+	return "Ablation A3: checkpoint interval vs log occupancy"
+}
+func (checkpointExp) Axes() []Axis {
+	return []Axis{
+		workloadAxis("uniform"),
+		{Name: "interval", Kind: AxisTime, List: true,
+			Default: timeStrings(CheckpointIntervals),
+			Help:    "checkpoint intervals in cycles"},
+	}
+}
+
+func (checkpointExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
-	for _, ival := range intervals {
+	for _, ival := range p.AxisTimes("interval") {
 		cfg := system.DefaultConfig(system.DirectoryFull, wl)
 		cfg.CheckpointInterval = ival
 		pts = repeats(pts, "checkpoint", cfg, p, map[string]string{"interval": strconv.FormatUint(uint64(ival), 10)})
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (checkpointExp) Aggregate(p Params, res []runner.Result) any {
+	intervals := p.AxisTimes("interval")
 	out := make([]CheckpointResult, len(intervals))
 	for ii, ival := range intervals {
 		i := ii * p.Runs
@@ -934,8 +1206,27 @@ func CheckpointAblation(p Params, wl workload.Profile, intervals []sim.Time) []C
 			CheckpointStall: sampleOf(res, i, p.Runs, "checkpoint_stall").Mean(),
 		}
 	}
-	ex.Summarize("checkpoint", out)
 	return out
+}
+
+func (checkpointExp) Table(v any) string { return CheckpointTable(v.([]CheckpointResult)) }
+
+// CheckpointTable renders the A3 ablation.
+func CheckpointTable(results []CheckpointResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
+			r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// CheckpointAblation runs the registered checkpoint experiment with
+// the given intervals (historical signature).
+func CheckpointAblation(p Params, wl workload.Profile, intervals []sim.Time) []CheckpointResult {
+	p.Workload = wl
+	p = p.withAxis("interval", timeStrings(intervals))
+	return mustRun(checkpointExp{}, p).([]CheckpointResult)
 }
 
 // ---- helpers ----

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specsimp/internal/workload"
+)
+
+// TestRegistryComplete pins the registered experiment set: every paper
+// driver is reachable through the registry, in sorted order, and
+// lookups agree with the listing.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"availability", "buffers", "checkpoint", "deflection", "fig4",
+		"fig5", "reenable", "reorder", "scale1024", "scale64",
+		"slowstart", "snoop", "workloads",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry lists %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("registry lists %v, want %v", got, want)
+		}
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) missed a listed experiment", name)
+		}
+		if e.Name() != name {
+			t.Fatalf("ByName(%q) returned experiment %q", name, e.Name())
+		}
+		if len(e.Axes()) == 0 {
+			t.Errorf("experiment %q declares no axes", name)
+		}
+	}
+	if _, ok := ByName("fig9"); ok {
+		t.Fatal("ByName invented an experiment")
+	}
+}
+
+// TestAxisDeclarations checks every declared axis is well-formed: a
+// name, a default (static or computed), and defaults that normalize
+// cleanly under both standard and quick parameters.
+func TestAxisDeclarations(t *testing.T) {
+	for _, e := range All() {
+		seen := map[string]bool{}
+		for _, a := range e.Axes() {
+			if a.Name == "" {
+				t.Errorf("%s: axis without a name", e.Name())
+			}
+			if seen[a.Name] {
+				t.Errorf("%s: axis %q declared twice", e.Name(), a.Name)
+			}
+			seen[a.Name] = true
+			if len(a.Default) == 0 && a.DefaultOf == nil {
+				t.Errorf("%s: axis %q has no default", e.Name(), a.Name)
+			}
+		}
+		for _, p := range []Params{Standard(), Quick()} {
+			np, err := Normalize(e, p)
+			if err != nil {
+				t.Errorf("%s: defaults do not normalize: %v", e.Name(), err)
+				continue
+			}
+			if pts := e.Grid(np); len(pts) == 0 {
+				t.Errorf("%s: default grid is empty", e.Name())
+			}
+		}
+	}
+}
+
+// TestNormalizeOverrides pins the single normalization path: spec axis
+// overrides beat profile fields beat declared defaults, values are
+// canonicalized, and every bad override is a descriptive error.
+func TestNormalizeOverrides(t *testing.T) {
+	e, _ := ByName("checkpoint")
+	p := Standard()
+	np, err := Normalize(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := np.AxisProfile("workload"); got.Name != "uniform" {
+		t.Fatalf("checkpoint default workload = %q, want uniform", got.Name)
+	}
+
+	p = Standard()
+	p.Workload = workload.OLTP
+	np, err = Normalize(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := np.AxisProfile("workload"); got.Name != "oltp" {
+		t.Fatalf("profile-field override workload = %q, want oltp", got.Name)
+	}
+
+	p = Standard()
+	p.Workload = workload.OLTP
+	p.Axes = map[string][]string{"workload": {"jbb"}, "interval": {"2500"}}
+	np, err = Normalize(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := np.AxisProfile("workload"); got.Name != "jbb" {
+		t.Fatalf("axis override workload = %q, want jbb (axis must beat profile field)", got.Name)
+	}
+	if got := np.AxisTimes("interval"); len(got) != 1 || got[0] != 2500 {
+		t.Fatalf("interval override = %v, want [2500]", got)
+	}
+
+	for _, tc := range []struct {
+		name string
+		axes map[string][]string
+		want string
+	}{
+		{"unknown axis", map[string][]string{"cadence": {"1"}}, "cadence"},
+		{"bad int", map[string][]string{"interval": {"soon"}}, "interval"},
+		{"arity", map[string][]string{"workload": {"oltp", "jbb"}}, "exactly one value"},
+		{"unknown workload", map[string][]string{"workload": {"nope"}}, "nope"},
+	} {
+		p := Standard()
+		p.Axes = tc.axes
+		if _, err := Normalize(e, p); err == nil {
+			t.Errorf("%s: bad override accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestNormalizeCanonicalizes checks numeric overrides re-encode to
+// canonical strings, so equivalent spellings digest identically.
+func TestNormalizeCanonicalizes(t *testing.T) {
+	e, _ := ByName("reorder")
+	p := Standard()
+	p.Axes = map[string][]string{"bw": {"0.40", "1.6e0"}}
+	np, err := Normalize(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.Grid(np)
+	var got []string
+	for _, pt := range pts {
+		if pt.Repeat == 0 {
+			got = append(got, pt.Params["bw"])
+		}
+	}
+	if len(got) != 2 || got[0] != "0.4" || got[1] != "1.6" {
+		t.Fatalf("canonical bw values = %v, want [0.4 1.6]", got)
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"specsimp/internal/runner"
 	"specsimp/internal/sim"
 	"specsimp/internal/system"
-	"specsimp/internal/workload"
 )
 
 // Scale1024Geometries are the 1024-node study's tiers: node count
@@ -59,15 +58,24 @@ func scale1024Cycles(p Params, nodes int) sim.Time {
 	return c
 }
 
-// Scale1024Sweep runs the 1024-node scaling study on the paper's
-// primary workload (OLTP). Directory points run the windowed tile
-// engine — auto-factored per geometry, or pinned via Params.ShardRows/
-// ShardCols — so the CSV artifacts are byte-identical at every tile
-// count and tile shape; snooping points run the classic serial path,
-// with 16×16 a real run on the segmented address network and 32×32 a
-// reported error row.
-func Scale1024Sweep(p Params) []ScaleResult {
-	wl := workload.OLTP
+// scale1024Exp runs the 1024-node scaling study, defaulting to the
+// paper's primary workload (OLTP). Directory points run the windowed
+// tile engine — auto-factored per geometry, or pinned via
+// Params.ShardRows/ShardCols — so the CSV artifacts are byte-identical
+// at every tile count and tile shape; snooping points run the classic
+// serial path, with 16×16 a real run on the segmented address network
+// and 32×32 a reported error row.
+type scale1024Exp struct{}
+
+func (scale1024Exp) Name() string { return "scale1024" }
+func (scale1024Exp) Title(p Params) string {
+	return "Scaling study: 4x4 -> 32x32 (1024 nodes) on 2D torus tiles (" +
+		p.AxisProfile("workload").Name + ")"
+}
+func (scale1024Exp) Axes() []Axis { return []Axis{workloadAxis("oltp")} }
+
+func (scale1024Exp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	var pts []runner.Point
 	for _, kind := range scaleKinds {
 		for _, v := range scale1024Variants(kind) {
@@ -90,9 +98,11 @@ func Scale1024Sweep(p Params) []ScaleResult {
 			}
 		}
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (scale1024Exp) Aggregate(p Params, res []runner.Result) any {
+	wl := p.AxisProfile("workload")
 	var out []ScaleResult
 	i := 0
 	for _, kind := range scaleKinds {
@@ -126,9 +136,14 @@ func Scale1024Sweep(p Params) []ScaleResult {
 			i += p.Runs
 		}
 	}
-	ex.Summarize("scale1024", out)
 	return out
 }
+
+func (scale1024Exp) Table(v any) string { return Scale1024Table(v.([]ScaleResult)) }
+
+// Scale1024Sweep runs the registered scale1024 experiment (historical
+// signature; OLTP by default).
+func Scale1024Sweep(p Params) []ScaleResult { return mustRun(scale1024Exp{}, p).([]ScaleResult) }
 
 // Scale1024Table renders the 1024-node scaling study with the same
 // layout as the scale64 table (unsupported points footnoted).

@@ -97,13 +97,23 @@ func (v wlVariant) idiomLabel() string {
 	return v.idiom
 }
 
-// Workloads runs the workload-realism study: every stream shape of
+// workloadsExp runs the workload-realism study: every stream shape of
 // workloadsGrid on both speculative protocols at the Table 2 geometry.
-// wl is the base profile (-workload; a trace replay collapses the grid
-// to its single recorded stream). Directory points ride the windowed
-// tile engine, so artifacts are byte-identical at every -shards value —
-// CI diffs them, including a recorded-trace replay.
-func Workloads(p Params, wl workload.Profile) []WorkloadsResult {
+// The "workload" axis is the base profile (a trace replay collapses
+// the grid to its single recorded stream). Directory points ride the
+// windowed tile engine, so artifacts are byte-identical at every
+// -shards value — CI diffs them, including a recorded-trace replay.
+type workloadsExp struct{}
+
+func (workloadsExp) Name() string { return "workloads" }
+func (workloadsExp) Title(p Params) string {
+	return "Workload realism: Zipf skew × phase length × sharing idiom, both Spec protocols (" +
+		p.AxisProfile("workload").Name + " base)"
+}
+func (workloadsExp) Axes() []Axis { return []Axis{workloadAxis("oltp")} }
+
+func (workloadsExp) Grid(p Params) []runner.Point {
+	wl := p.AxisProfile("workload")
 	grid := workloadsGrid(wl)
 	var pts []runner.Point
 	for _, kind := range scaleKinds {
@@ -123,9 +133,12 @@ func Workloads(p Params, wl workload.Profile) []WorkloadsResult {
 			})
 		}
 	}
-	ex := p.exec()
-	res := ex.Run(pts)
+	return pts
+}
 
+func (workloadsExp) Aggregate(p Params, res []runner.Result) any {
+	wl := p.AxisProfile("workload")
+	grid := workloadsGrid(wl)
 	var out []WorkloadsResult
 	i := 0
 	for _, kind := range scaleKinds {
@@ -154,8 +167,16 @@ func Workloads(p Params, wl workload.Profile) []WorkloadsResult {
 			i += p.Runs
 		}
 	}
-	ex.Summarize("workloads", out)
 	return out
+}
+
+func (workloadsExp) Table(v any) string { return WorkloadsTable(v.([]WorkloadsResult)) }
+
+// Workloads runs the registered workloads experiment on one base
+// profile (historical signature).
+func Workloads(p Params, wl workload.Profile) []WorkloadsResult {
+	p.Workload = wl
+	return mustRun(workloadsExp{}, p).([]WorkloadsResult)
 }
 
 // WorkloadsTable renders the workload-realism study.

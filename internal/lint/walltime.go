@@ -13,6 +13,7 @@ import (
 var walltimeScope = []string{
 	"sim", "network", "directory", "snoop", "processor", "system",
 	"safetynet", "explore", "workload", "experiments", "runner",
+	"campaign",
 }
 
 // walltimeFuncs are the package time functions that read or depend on

@@ -101,6 +101,99 @@ var metricKeys = []string{
 // MetricKeys returns the metric column names in CSV order.
 func MetricKeys() []string { return append([]string(nil), metricKeys...) }
 
+// Set assigns the metric named by key (the CSV column name) —
+// Get's inverse, used by the analysis stage to reconstruct a run's
+// Metrics from its CSV row without re-simulating. Unknown keys are a
+// programming error and panic, exactly like Get.
+func (m *Metrics) Set(key string, v float64) {
+	switch key {
+	case "perf":
+		m.Perf = v
+	case "cycles":
+		m.Cycles = v
+	case "instructions":
+		m.Instructions = v
+	case "recoveries":
+		m.Recoveries = v
+	case "checkpoints":
+		m.Checkpoints = v
+	case "checkpoint_stall":
+		m.CheckpointStall = v
+	case "mean_lost_work":
+		m.MeanLostWork = v
+	case "mean_link_util":
+		m.MeanLinkUtil = v
+	case "reorder_total":
+		m.ReorderTotal = v
+	case "deflections":
+		m.Deflections = v
+	case "timeouts":
+		m.Timeouts = v
+	case "corner_detected":
+		m.CornerDetected = v
+	case "corner_handled":
+		m.CornerHandled = v
+	case "log_high_water_bytes":
+		m.LogHighWaterBytes = v
+	case "writebacks":
+		m.Writebacks = v
+	case "wb_races":
+		m.WBRaces = v
+	case "invalidations":
+		m.Invalidations = v
+	case "inv_broadcasts":
+		m.InvBroadcasts = v
+	case "sharer_overflows":
+		m.SharerOverflows = v
+	case "transactions":
+		m.Transactions = v
+	case "miss_latency_mean":
+		m.MissLatencyMean = v
+	case "limit_stalls":
+		m.LimitStalls = v
+	case "order_violations":
+		m.OrderViolations = v
+	case "reorder_vnet0":
+		m.ReorderVNet[0] = v
+	case "reorder_vnet1":
+		m.ReorderVNet[1] = v
+	case "reorder_vnet2":
+		m.ReorderVNet[2] = v
+	case "reorder_vnet3":
+		m.ReorderVNet[3] = v
+	case "outage_cycles":
+		m.OutageCycles = v
+	case "degraded_cycles":
+		m.DegradedCycles = v
+	case "degraded_instructions":
+		m.DegradedInstructions = v
+	case "log_stall_cycles":
+		m.LogStallCycles = v
+	case "log_overflows":
+		m.LogOverflows = v
+	case "checkpoint_interval_final":
+		m.CheckpointIntervalFinal = v
+	case "recovery_lat_n":
+		m.RecoveryLatN = v
+	case "recovery_lat_sum":
+		m.RecoveryLatSum = v
+	case "recovery_lat_min":
+		m.RecoveryLatMin = v
+	case "recovery_lat_max":
+		m.RecoveryLatMax = v
+	case "rollback_n":
+		m.RollbackN = v
+	case "rollback_sum":
+		m.RollbackSum = v
+	case "rollback_min":
+		m.RollbackMin = v
+	case "rollback_max":
+		m.RollbackMax = v
+	default:
+		panic("runner: unknown metric key " + key)
+	}
+}
+
 // Get returns the metric named by key (the CSV column name). Unknown
 // keys are a programming error and panic: experiment aggregation code
 // addresses metrics by name and a typo must not read as silent zero.

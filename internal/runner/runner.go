@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,20 @@ func PerturbSeed(base uint64, repeat int) uint64 {
 	return base + uint64(repeat)*7919
 }
 
+// PointCache is the resume hook consulted around every point
+// execution (see internal/campaign). Lookup returning ok short-
+// circuits the simulation with the recorded metrics — the point's
+// result is indistinguishable from a fresh run because point
+// execution is a pure function of the point — and Store records a
+// freshly executed point. The error travels as text: reconstructing
+// it must reproduce the same CSV error column and JSON summary bytes,
+// and experiment errors are plain descriptive strings by contract.
+// Implementations must be safe for concurrent use by all workers.
+type PointCache interface {
+	Lookup(p Point) (m Metrics, errText string, ok bool)
+	Store(p Point, m Metrics, errText string)
+}
+
 // Runner executes grids on a bounded worker pool.
 type Runner struct {
 	// Workers bounds concurrent point executions; <= 0 means
@@ -69,7 +84,23 @@ type Runner struct {
 	Workers int
 	// Sink, when non-nil, receives one CSV row per executed point.
 	Sink *Sink
+	// Cache, when non-nil, is consulted before each point runs and
+	// notified after: completed points found in the cache skip
+	// simulation entirely (campaign resume).
+	Cache PointCache
+	// Interrupt, when non-nil, is polled as workers claim points; once
+	// it returns true the pool stops claiming, Run returns with the
+	// grid incomplete, and no artifacts are written for it (nor by any
+	// later Run or Summarize on this Runner — the interruption is
+	// sticky, modeling a process kill). Cached results recorded before
+	// the interruption remain durable in the Cache.
+	Interrupt func() bool
+
+	interrupted atomic.Bool
 }
+
+// Interrupted reports whether any Run on this Runner was interrupted.
+func (r *Runner) Interrupted() bool { return r.interrupted.Load() }
 
 // WorkerBound returns the effective pool size.
 func (r *Runner) WorkerBound() int {
@@ -88,7 +119,11 @@ func (r *Runner) WorkerBound() int {
 // goroutines are spawned no matter how large the grid is; they claim
 // points through one atomic cursor, so dispatch costs no channel
 // round-trips and no allocation per point. If a Sink is configured the
-// results are appended to the per-experiment CSVs, also in point order.
+// results are appended to the per-experiment CSVs, also in point
+// order. Points found in the Cache reuse their recorded metrics
+// without simulating; fresh executions are stored back. An Interrupt
+// leaves the grid incomplete (unexecuted results zero) and suppresses
+// the sink append — partial grids must never become artifact rows.
 func (r *Runner) Run(points []Point) []Result {
 	results := make([]Result, len(points))
 	workers := r.WorkerBound()
@@ -102,26 +137,51 @@ func (r *Runner) Run(points []Point) []Result {
 		go func() {
 			defer wg.Done()
 			for {
+				if r.Interrupt != nil && r.Interrupt() {
+					r.interrupted.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
+				if r.Cache != nil {
+					if m, errText, ok := r.Cache.Lookup(points[i]); ok {
+						results[i] = Result{Point: points[i], Metrics: m, Err: cachedErr(errText)}
+						continue
+					}
+				}
 				m, err := points[i].Run(points[i].Seed)
 				results[i] = Result{Point: points[i], Metrics: m, Err: err}
+				if r.Cache != nil {
+					r.Cache.Store(points[i], m, errText(err))
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	if r.Sink != nil {
+	if r.Sink != nil && !r.interrupted.Load() {
 		r.Sink.AppendRows(results)
 	}
 	return results
 }
 
+// cachedErr reconstructs a point error from its cached text. The
+// round-trip is byte-exact for artifacts: the sink and the summaries
+// only ever consume err.Error().
+func cachedErr(text string) error {
+	if text == "" {
+		return nil
+	}
+	return errors.New(text)
+}
+
 // Summarize writes an experiment's aggregated results as its JSON
-// summary artifact, if a Sink is configured.
+// summary artifact, if a Sink is configured and no Run on this Runner
+// was interrupted (a partial grid's aggregate is meaningless and must
+// not overwrite a durable artifact).
 func (r *Runner) Summarize(experiment string, v interface{}) {
-	if r.Sink != nil {
+	if r.Sink != nil && !r.interrupted.Load() {
 		r.Sink.WriteJSON(experiment, v)
 	}
 }

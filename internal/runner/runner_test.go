@@ -247,3 +247,107 @@ func TestTimestampedDirShape(t *testing.T) {
 		t.Fatalf("unexpected dir %q", d)
 	}
 }
+
+// memCache is an in-memory PointCache for testing the resume hooks.
+type memCache struct {
+	mu      sync.Mutex
+	entries map[string]struct {
+		m   Metrics
+		err string
+	}
+	lookups, stores int
+}
+
+func newMemCache() *memCache {
+	return &memCache{entries: map[string]struct {
+		m   Metrics
+		err string
+	}{}}
+}
+
+func cacheKey(p Point) string {
+	return fmt.Sprintf("%s/%s/%d/%d/%v", p.Experiment, p.Workload, p.Repeat, p.Seed, p.Params)
+}
+
+func (c *memCache) Lookup(p Point) (Metrics, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
+	e, ok := c.entries[cacheKey(p)]
+	return e.m, e.err, ok
+}
+
+func (c *memCache) Store(p Point, m Metrics, errText string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stores++
+	c.entries[cacheKey(p)] = struct {
+		m   Metrics
+		err string
+	}{m, errText}
+}
+
+// TestCacheSkipsExecution is the resume-cache contract: a second run of
+// the same grid against a populated cache executes nothing and returns
+// the same results, errors included.
+func TestCacheSkipsExecution(t *testing.T) {
+	cache := newMemCache()
+	var executed atomic.Int64
+	pts := grid("cached", 4, 2, func() { executed.Add(1) })
+	pts[3].Run = func(seed uint64) (Metrics, error) {
+		executed.Add(1)
+		return Metrics{}, fmt.Errorf("illegal config")
+	}
+	first := (&Runner{Workers: 2, Cache: cache}).Run(pts)
+	if got := executed.Load(); got != int64(len(pts)) {
+		t.Fatalf("first run executed %d of %d points", got, len(pts))
+	}
+	if cache.stores != len(pts) {
+		t.Fatalf("first run stored %d of %d points", cache.stores, len(pts))
+	}
+	executed.Store(0)
+	second := (&Runner{Workers: 2, Cache: cache}).Run(pts)
+	if got := executed.Load(); got != 0 {
+		t.Fatalf("cached run executed %d points, want 0", got)
+	}
+	for i := range first {
+		if first[i].Metrics != second[i].Metrics {
+			t.Fatalf("point %d metrics differ across cache reuse", i)
+		}
+		a, b := first[i].Err, second[i].Err
+		if (a == nil) != (b == nil) || (a != nil && a.Error() != b.Error()) {
+			t.Fatalf("point %d error differs across cache reuse: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestInterruptSuppressesArtifacts models a campaign kill: once the
+// interrupt fires, workers stop claiming, the sink receives no rows,
+// Summarize writes nothing, and the interruption is sticky — but
+// everything stored before the kill is durable in the cache.
+func TestInterruptSuppressesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newMemCache()
+	r := &Runner{Workers: 1, Sink: sink, Cache: cache,
+		Interrupt: func() bool { cache.mu.Lock(); defer cache.mu.Unlock(); return cache.stores >= 2 }}
+	r.Run(grid("killed", 6, 1, nil))
+	if !r.Interrupted() {
+		t.Fatal("runner did not report the interruption")
+	}
+	if cache.stores != 2 {
+		t.Fatalf("stored %d points before the interrupt, want 2", cache.stores)
+	}
+	r.Summarize("killed", []int{1, 2, 3})
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"killed.csv", "killed.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("interrupted run wrote artifact %s", name)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package sweepcli is the body of the sweep command, factored out of
 // package main so tests can drive full artifact-producing invocations
 // in-process (the -run-id byte-reproducibility regression test runs
-// the CLI twice and diffs the trees).
+// the CLI twice and diffs the trees, and the campaign resume test
+// kills and resumes a campaign the same way).
 //
 // The package deliberately sits outside the walltime contract scope
 // (internal/lint): wall-clock use here is confined to progress timing
@@ -15,36 +16,28 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"specsimp"
+	"specsimp/internal/campaign"
 	"specsimp/internal/experiments"
 	"specsimp/internal/runner"
-	"specsimp/internal/sim"
-	"specsimp/internal/workload"
 )
 
 // ParseShards parses the -shards flag's two forms: "N" requests N
 // tiles with the grid shape auto-factored per design point, "RxC"
 // (e.g. "4x2") pins the tile grid to R rows by C columns and requests
-// R*C tiles. Shared by cmd/sweep and cmd/specsim so the two CLIs stay
-// in sync.
+// R*C tiles. Shared by cmd/sweep, cmd/specsim, and campaign specs
+// (the parser itself lives in internal/campaign).
 func ParseShards(s string) (shards, rows, cols int, err error) {
-	if r, c, ok := strings.Cut(strings.ToLower(s), "x"); ok {
-		rows, rerr := strconv.Atoi(r)
-		cols, cerr := strconv.Atoi(c)
-		if rerr != nil || cerr != nil || rows < 1 || cols < 1 {
-			return 0, 0, 0, fmt.Errorf("-shards %q: a tile-grid shape is RxC with positive rows and columns, e.g. 4x2", s)
-		}
-		return rows * cols, rows, cols, nil
-	}
-	n, nerr := strconv.Atoi(s)
-	if nerr != nil || n < 1 {
-		return 0, 0, 0, fmt.Errorf("-shards %q: want a tile count >= 1 or a tile-grid shape RxC (1 means serial)", s)
-	}
-	return n, 0, 0, nil
+	return campaign.ParseShards(s)
+}
+
+// ExpUsage is the -exp flag's help text, generated from the experiment
+// registry so the usage string can never drift from the registered set.
+func ExpUsage() string {
+	return "experiment: " + strings.Join(append(experiments.Names(), "all"), ", ")
 }
 
 // Run executes one sweep invocation with the given command-line
@@ -55,17 +48,37 @@ func Run(args []string, w io.Writer) error {
 	startedAt := time.Now().UTC()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig4, fig5, reorder, snoop, buffers, scale64, scale1024, slowstart, deflection, reenable, checkpoint, availability, workloads, all")
+		exp      = fs.String("exp", "all", ExpUsage())
 		quick    = fs.Bool("quick", false, "bench-sized parameters (faster, noisier)")
-		wlName   = fs.String("workload", "oltp", "workload for reorder/buffers/ablations/workloads — any registered name or trace:<path>")
+		wlName   = fs.String("workload", "oltp", "workload override for experiments with a workload axis — any registered name or trace:<path>; when unset each experiment keeps its registry-declared default")
 		parallel = fs.Int("parallel", 0, "ACROSS-run parallelism: the worker-pool bound for grid execution — up to N design points simulate concurrently, one kernel each (0 = GOMAXPROCS). Orthogonal to -shards.")
 		shards   = fs.String("shards", "1", "INTRA-run parallelism for shard-capable design points (the scale64/scale1024 directory machines): each single run partitions its torus into tiles advancing in conservative lockstep windows. 'N' requests N tiles (auto-factored into a near-square RxC grid per point); 'RxC' pins the tile-grid shape, e.g. 4x2 = 4 rows of 2 columns. Results and artifacts are byte-identical for every count and shape; per point an unfit request is clamped to the largest legal tiling, and snooping points always simulate serially (ordered bus).")
 		out      = fs.String("out", "", "artifact directory for CSV+JSON results ('auto' = run dir under sweep-runs/, empty = none)")
-		runID    = fs.String("run-id", "", "name for this run: with -out auto the artifacts land in sweep-runs/run-<id>, and the manifest records the id instead of a wall-clock start time, making the whole artifact tree byte-reproducible (empty = timestamped dir and started_at in the manifest)")
+		runID    = fs.String("run-id", "", "name for this run: with -out auto the artifacts land in sweep-runs/run-<id>, and the manifest records the id instead of a wall-clock start time, making the whole artifact tree byte-reproducible (empty = timestamped dir and started_at in the manifest). With -campaign it overrides the spec's run_id.")
 		asJSON   = fs.Bool("json", false, "print JSON summaries to stdout instead of tables")
+
+		campaignPath = fs.String("campaign", "", "run a declarative campaign from this JSON spec (see EXPERIMENTS.md \"Campaigns\"); resumable — re-invoking with the same spec and run id skips completed points")
+		analyzeDir   = fs.String("analyze", "", "regenerate summaries, paper tables, and LaTeX tables from a completed run directory without re-simulating")
+		abortAfter   = fs.Int("campaign-abort-after", 0, "interrupt the campaign after N freshly executed points (the simulated-kill hook resume tests and CI use; 0 = run to completion)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *analyzeDir != "" {
+		rep, err := campaign.Analyze(*analyzeDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "analyzed %d experiments (%d result rows): %s\n",
+			len(rep.Experiments), rep.Rows, strings.Join(rep.Experiments, ", "))
+		fmt.Fprintf(os.Stderr, "sweep: analysis written to %s\n", rep.Dir+"/analysis")
+		return nil
+	}
+	if *campaignPath != "" {
+		return runCampaign(*campaignPath, *runID, *parallel, *abortAfter, explicit, w)
 	}
 
 	p := specsimp.StandardParams()
@@ -77,9 +90,15 @@ func Run(args []string, w io.Writer) error {
 		return err
 	}
 	p.Shards, p.ShardRows, p.ShardCols = n, rows, cols
-	wl, err := specsimp.ResolveWorkload(*wlName)
-	if err != nil {
-		return err
+	if explicit["workload"] {
+		// An explicit -workload overrides every selected experiment's
+		// workload axis; left unset, each experiment keeps its declared
+		// default (checkpoint runs uniform, the rest oltp).
+		wl, err := specsimp.ResolveWorkload(*wlName)
+		if err != nil {
+			return err
+		}
+		p.Workload = wl
 	}
 
 	ex := &runner.Runner{Workers: *parallel}
@@ -100,170 +119,48 @@ func Run(args []string, w io.Writer) error {
 	}
 	p.Exec = ex
 
-	var ran []string
-	var runErr error
-	run := func(name, title string, fn func() interface{}) {
-		if runErr != nil {
-			return
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.ByName(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (registered: %s, or all)",
+				*exp, strings.Join(experiments.Names(), ", "))
 		}
-		ran = append(ran, name)
-		start := time.Now()
-		if *asJSON {
-			res := fn()
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]interface{}{"experiment": name, "results": res}); err != nil {
-				runErr = err
-			}
-			return
-		}
-		fmt.Fprintf(w, "==== %s ====\n", title)
-		fn()
-		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
+		selected = []experiments.Experiment{e}
 	}
 
-	all := *exp == "all"
-	if all || *exp == "fig4" {
-		run("fig4", "Figure 4: normalized performance vs mis-speculation rate", func() interface{} {
-			if !*asJSON {
-				fmt.Fprintf(w, "compressed clock: 1 second = %.0f cycles; projections at true 4 GHz\n\n", p.CyclesPerSecond)
+	var ran []string
+	for _, e := range selected {
+		np, err := experiments.Normalize(e, p)
+		if err != nil {
+			return err
+		}
+		ran = append(ran, e.Name())
+		start := time.Now()
+		if *asJSON {
+			res, err := experiments.RunExperiment(e, np)
+			if err != nil {
+				return err
 			}
-			res := specsimp.Fig4(p)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.Fig4Table(res))
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]interface{}{"experiment": e.Name(), "results": res}); err != nil {
+				return err
 			}
-			return res
-		})
-	}
-	if all || *exp == "fig5" {
-		run("fig5", "Figure 5: static vs adaptive routing (400 MB/s links)", func() interface{} {
-			res := specsimp.Fig5(p)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.Fig5Table(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "reorder" {
-		run("reorder", "§5.3: message reorder rates vs link bandwidth ("+wl.Name+")", func() interface{} {
-			res := specsimp.ReorderRates(p, wl)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.ReorderTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "snoop" {
-		run("snoop", "§5.3: speculatively simplified snooping protocol", func() interface{} {
-			res := specsimp.SnoopRecoveries(p)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.SnoopTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "buffers" {
-		run("buffers", "§5.3: simplified interconnect buffer sweep ("+wl.Name+")", func() interface{} {
-			res := specsimp.BufferSweep(p, wl)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.BufferTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "scale64" {
-		run("scale64", "Scaling study: 4x4 -> 8x8 -> 16x16, both Spec protocols (directory-only at 256 nodes)", func() interface{} {
-			res := specsimp.ScaleSweep(p)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.ScaleTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "scale1024" {
-		run("scale1024", "Scaling study: 4x4 -> 32x32 (1024 nodes) on 2D torus tiles (oltp)", func() interface{} {
-			res := specsimp.Scale1024Sweep(p)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.Scale1024Table(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "slowstart" {
-		run("slowstart", "Ablation A2: slow-start outstanding limit ("+wl.Name+", 2-entry buffers)", func() interface{} {
-			res := experiments.SlowStartAblation(p, wl, []int{1, 2, 4, 8})
-			if !*asJSON {
-				for _, r := range res {
-					fmt.Fprintf(w, "  limit %d: perf %s, recoveries %.2f\n", r.Limit, r.Perf, r.Recoveries)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "deflection" {
-		run("deflection", "Ablation A4: deadlock-recovery vs deflection routing ("+wl.Name+")", func() interface{} {
-			res := experiments.DeflectionAblation(p, wl)
-			if !*asJSON {
-				for _, r := range res {
-					fmt.Fprintf(w, "  %-16s perf %s, recoveries %.2f, deflections %.0f\n",
-						r.Name, r.Perf, r.Recoveries, r.Deflections)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "reenable" {
-		run("reenable", "Ablation A5: adaptive-routing re-enable window ("+wl.Name+", amplified reordering)", func() interface{} {
-			res := experiments.ReenableAblation(p, wl,
-				[]sim.Time{0, 2 * p.CheckpointInterval, 10 * p.CheckpointInterval, 50 * p.CheckpointInterval})
-			if !*asJSON {
-				for _, r := range res {
-					name := fmt.Sprintf("%d cycles", r.Window)
-					if r.Window == 0 {
-						name = "never (conservative)"
-					}
-					fmt.Fprintf(w, "  re-enable after %-22s perf %s, recoveries %.2f\n", name+":", r.Perf, r.Recoveries)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "checkpoint" {
-		run("checkpoint", "Ablation A3: checkpoint interval vs log occupancy", func() interface{} {
-			res := experiments.CheckpointAblation(p, workload.Uniform,
-				[]sim.Time{2_000, 5_000, 20_000, 50_000})
-			if !*asJSON {
-				for _, r := range res {
-					fmt.Fprintf(w, "  interval %6d: perf %s, log high water %.0f B, ckpt stall %.0f cyc\n",
-						r.Interval, r.Perf, r.LogHighWater, r.CheckpointStall)
-				}
-			}
-			return res
-		})
-	}
-	if all || *exp == "workloads" {
-		run("workloads", "Workload realism: Zipf skew × phase length × sharing idiom, both Spec protocols ("+wl.Name+" base)", func() interface{} {
-			res := specsimp.Workloads(p, wl)
-			if !*asJSON {
-				fmt.Fprintln(w, specsimp.WorkloadsTable(res))
-			}
-			return res
-		})
-	}
-	if all || *exp == "availability" {
-		run("availability", "Availability: sustained fault regimes × checkpoint cadence (oltp)", func() interface{} {
-			res := experiments.Availability(p)
-			if !*asJSON {
-				fmt.Fprintln(w, experiments.AvailabilityTable(res))
-			}
-			return res
-		})
-	}
-	if runErr != nil {
-		return runErr
-	}
-	if len(ran) == 0 {
-		return fmt.Errorf("unknown experiment %q", *exp)
+			continue
+		}
+		fmt.Fprintf(w, "==== %s ====\n", e.Title(np))
+		if pre, ok := e.(experiments.Preambler); ok {
+			fmt.Fprintln(w, pre.Preamble(np))
+		}
+		res, err := experiments.RunExperiment(e, np)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, e.Table(res))
+		fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 
 	if s := ex.Sink; s != nil {
@@ -288,5 +185,50 @@ func Run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(os.Stderr, "sweep: artifacts written to %s\n", s.Dir())
 	}
+	return nil
+}
+
+// runCampaign executes -campaign: load and validate the spec, apply the
+// CLI's overrides, run the plan with per-point resume, and print each
+// completed experiment's table as it lands.
+func runCampaign(path, runID string, parallel, abortAfter int, explicit map[string]bool, w io.Writer) error {
+	spec, err := campaign.LoadSpec(path)
+	if err != nil {
+		return err
+	}
+	if runID != "" {
+		spec.RunID = runID
+	}
+	if explicit["parallel"] {
+		spec.Parallel = parallel
+	}
+	plan, err := campaign.BuildPlan(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "campaign %s: %d experiments, %d design points\n",
+		plan.RunID, len(plan.Experiments), plan.Points())
+
+	last := time.Now()
+	rep, err := campaign.Execute(plan, campaign.Options{
+		AbortAfter: abortAfter,
+		OnResult: func(pe campaign.PlanExperiment, res any) {
+			fmt.Fprintf(w, "==== %s ====\n", pe.Exp.Title(pe.Params))
+			if pre, ok := pe.Exp.(experiments.Preambler); ok {
+				fmt.Fprintln(w, pre.Preamble(pe.Params))
+			}
+			fmt.Fprintln(w, pe.Exp.Table(res))
+			fmt.Fprintf(w, "(%.1fs)\n\n", time.Since(last).Seconds())
+			last = time.Now()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "campaign %s: %d points executed, %d reused\n", plan.RunID, rep.Executed, rep.Reused)
+	if rep.Interrupted {
+		return fmt.Errorf("campaign %s interrupted after %d freshly executed points; re-run with the same spec and run id to resume", plan.RunID, rep.Executed)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: artifacts written to %s\n", rep.Dir)
 	return nil
 }

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
+	"specsimp/internal/experiments"
 	"specsimp/internal/runner"
 	"specsimp/internal/sweepcli"
 )
@@ -102,4 +104,68 @@ func equalStrings(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// TestExpUsageListsEveryExperiment is the usage-drift guard: the -exp
+// help text is generated from the registry, so every registered
+// experiment (and "all") must appear in it.
+func TestExpUsageListsEveryExperiment(t *testing.T) {
+	usage := sweepcli.ExpUsage()
+	for _, name := range append(experiments.Names(), "all") {
+		if !strings.Contains(usage, name) {
+			t.Errorf("-exp usage %q is missing registered experiment %q", usage, name)
+		}
+	}
+}
+
+// TestUnknownExperimentError pins the -exp error path: the message
+// names the bad value and lists the registered set.
+func TestUnknownExperimentError(t *testing.T) {
+	err := sweepcli.Run([]string{"-exp", "fig9"}, io.Discard)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range append([]string{"fig9"}, experiments.Names()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestCampaignCLIResume drives the CLI surface of the campaign engine:
+// -campaign with the abort hook exits with a resumable error, a second
+// invocation converges, and -analyze runs over the finished tree.
+func TestCampaignCLIResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small campaign twice; skipped in -short")
+	}
+	dir := t.TempDir()
+	t.Chdir(dir)
+	spec := []byte(`{
+  "run_id": "cli1",
+  "quick": true,
+  "repeats": 1,
+  "parallel": 1,
+  "experiments": [{ "name": "slowstart", "axes": { "limit": [1, 2] } }]
+}`)
+	if err := os.WriteFile("spec.json", spec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := sweepcli.Run([]string{"-campaign", "spec.json", "-campaign-abort-after", "1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("aborted campaign did not report interruption: %v", err)
+	}
+	var out bytes.Buffer
+	if err := sweepcli.Run([]string{"-campaign", "spec.json"}, &out); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 reused") {
+		t.Fatalf("resume did not reuse the pre-kill point:\n%s", out.String())
+	}
+	if err := sweepcli.Run([]string{"-analyze", filepath.Join("sweep-runs", "run-cli1")}, io.Discard); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join("sweep-runs", "run-cli1", "analysis", "slowstart-table.tex")); err != nil {
+		t.Fatalf("analysis artifact missing: %v", err)
+	}
 }
